@@ -1,0 +1,119 @@
+#pragma once
+// Shared plumbing for the per-figure bench drivers: scaled machine
+// construction, scaled interference configurations, and the synthetic-
+// benchmark experiment used by Fig. 5 and Fig. 6.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "apps/synthetic_benchmark.hpp"
+#include "common/units.hpp"
+#include "interfere/bwthr_agent.hpp"
+#include "interfere/csthr_agent.hpp"
+#include "model/ehr_model.hpp"
+#include "sim/engine.hpp"
+
+namespace am::bench {
+
+struct BenchContext {
+  sim::MachineConfig machine;
+  std::uint32_t scale = 1;
+  std::string csv_path;   // empty = no CSV dump
+  std::uint64_t seed = 1;
+
+  interfere::CSThrConfig cs_config() const {
+    interfere::CSThrConfig c;
+    c.buffer_bytes = std::max<std::uint64_t>(4096, 4ull * 1024 * 1024 / scale);
+    return c;
+  }
+  interfere::BWThrConfig bw_config() const {
+    interfere::BWThrConfig c;
+    c.buffer_bytes = std::max<std::uint64_t>(4096, 520ull * 1024 / scale);
+    return c;
+  }
+  /// Buffer sizes in the paper's 30-74 MB range (scaled), `count` steps.
+  std::vector<std::uint64_t> paper_buffer_bytes(std::size_t count) const {
+    std::vector<std::uint64_t> out;
+    const double lo = 30.0 * 1024 * 1024 / scale;
+    const double hi = 74.0 * 1024 * 1024 / scale;
+    for (std::size_t i = 0; i < count; ++i) {
+      const double frac =
+          count > 1 ? static_cast<double>(i) / (count - 1) : 0.0;
+      out.push_back(static_cast<std::uint64_t>(lo + frac * (hi - lo)) /
+                    64 * 64);
+    }
+    return out;
+  }
+};
+
+/// Parses the common flags: --scale N (default 16, geometry-preserving),
+/// --full (paper-size machine), --nodes, --csv path, --seed.
+inline BenchContext make_context(const Cli& cli,
+                                 std::uint32_t default_scale = 16,
+                                 std::uint32_t nodes = 1) {
+  BenchContext ctx;
+  ctx.scale = cli.get_bool("full", false)
+                  ? 1
+                  : static_cast<std::uint32_t>(
+                        cli.get_int("scale", default_scale));
+  ctx.machine = sim::MachineConfig::xeon20mb_scaled(
+      ctx.scale, static_cast<std::uint32_t>(cli.get_int("nodes", nodes)));
+  ctx.csv_path = cli.get("csv", "");
+  ctx.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  return ctx;
+}
+
+inline void emit(const Table& table, const BenchContext& ctx,
+                 const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+  std::cout << "machine: " << ctx.machine.name
+            << " (L3 " << format_bytes(
+                   static_cast<double>(ctx.machine.l3.size_bytes))
+            << ", scale 1:" << ctx.scale << ")\n";
+  table.print(std::cout);
+  if (!ctx.csv_path.empty()) {
+    if (table.save_csv(ctx.csv_path))
+      std::cout << "csv written to " << ctx.csv_path << "\n";
+    else
+      std::cerr << "failed to write " << ctx.csv_path << "\n";
+  }
+}
+
+/// One synthetic-benchmark experiment: the probe runs against `k` CSThrs
+/// on the same socket; returns the measured L3 miss rate in steady state.
+struct SynthOutcome {
+  double miss_rate = 0.0;
+  double seconds = 0.0;
+  double effective_capacity = 0.0;  // via inverted Eq. 4
+};
+
+inline SynthOutcome run_synth_experiment(
+    const BenchContext& ctx, const model::AccessDistribution& dist,
+    std::uint32_t compute_ops, std::uint32_t k_csthr,
+    std::uint64_t measured_accesses) {
+  sim::Engine engine(ctx.machine, ctx.seed);
+  apps::SyntheticConfig cfg{dist, 4, compute_ops,
+                            /*warmup=*/dist.n() * 3 / 2, measured_accesses};
+  auto bench = std::make_unique<apps::SyntheticBenchmarkAgent>(
+      engine.memory(), cfg);
+  auto* bench_raw = bench.get();
+  const auto idx = engine.add_agent(std::move(bench), 0);
+  for (std::uint32_t i = 0; i < k_csthr; ++i)
+    engine.add_agent(std::make_unique<interfere::CSThrAgent>(engine.memory(),
+                                                             ctx.cs_config()),
+                     1 + i, /*primary=*/false);
+  const sim::Cycles end = engine.run();
+  SynthOutcome out;
+  out.miss_rate = engine.agent_counters(idx).l3_miss_rate();
+  out.seconds =
+      ctx.machine.cycles_to_seconds(end - bench_raw->measure_start_cycle());
+  out.effective_capacity =
+      model::EhrModel(dist, 4).invert_capacity(out.miss_rate);
+  return out;
+}
+
+}  // namespace am::bench

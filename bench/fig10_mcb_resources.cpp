@@ -1,0 +1,71 @@
+// Fig. 10 of the paper: MCB's per-process resource consumption (L3 storage
+// and memory bandwidth) as a function of the MPI mapping, derived from the
+// degradation sweeps via the §IV bounds recipe.
+//
+// Paper reference shape (20k particles): storage use is roughly constant
+// (~3.5-7 MB/process) across mappings, while per-process bandwidth use
+// grows as processes spread out (~3.5-4.25 GB/s at 4/processor up to
+// ~11.4-14.2 GB/s at 1/processor) because all communication then crosses
+// the memory bus.
+#include "bench_util.hpp"
+#include "measure/active_measurer.hpp"
+#include "measure/app_workloads.hpp"
+#include "measure/calibration.hpp"
+
+int main(int argc, char** argv) {
+  am::Cli cli(argc, argv);
+  auto ctx = am::bench::make_context(cli, /*default_scale=*/16, /*nodes=*/12);
+  const auto ranks = static_cast<std::uint32_t>(cli.get_int("ranks", 24));
+  const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 3));
+  const auto particles =
+      static_cast<std::uint32_t>(cli.get_int("particles", 20'000));
+  const double tolerance = cli.get_double("tolerance", 0.05);
+
+  am::measure::CalibrationOptions copts;
+  copts.max_threads = 5;
+  copts.buffer_to_l3_ratios = {2.5};
+  copts.probe_distributions = {9};
+  copts.accesses_per_probe = 150'000;
+  copts.seed = ctx.seed;
+  const auto cap_calib =
+      am::measure::calibrate_capacity(ctx.machine, ctx.cs_config(), copts);
+  const auto bw_calib = am::measure::calibrate_bandwidth(
+      ctx.machine, ctx.bw_config(), 2, ctx.seed);
+
+  am::measure::SimBackend backend(ctx.machine, ctx.seed);
+  am::measure::ActiveMeasurer measurer(backend, cap_calib, bw_calib);
+
+  auto cfg = am::apps::McbConfig::paper(particles, ctx.scale);
+  cfg.steps = steps;
+
+  const double mb = 1024.0 * 1024.0;
+  am::Table t({"p/processor", "capacity lo (MB)", "capacity hi (MB)",
+               "bandwidth lo (GB/s)", "bandwidth hi (GB/s)"});
+  for (const std::uint32_t p : {1u, 2u, 3u, 4u}) {
+    const auto factory = am::measure::make_mcb_workload(ranks, p, cfg);
+    const auto cs_sweep = measurer.sweep(
+        factory, am::measure::Resource::kCacheStorage,
+        std::min(5u, ctx.machine.cores_per_socket - p), ctx.cs_config(),
+        ctx.bw_config());
+    const auto bw_sweep = measurer.sweep(
+        factory, am::measure::Resource::kBandwidth,
+        std::min(2u, ctx.machine.cores_per_socket - p), ctx.cs_config(),
+        ctx.bw_config());
+    const auto cs_bounds =
+        am::measure::ActiveMeasurer::bounds(cs_sweep, p, tolerance);
+    const auto bw_bounds =
+        am::measure::ActiveMeasurer::bounds(bw_sweep, p, tolerance);
+    auto cap_str = [&](double v) {
+      return am::Table::num(v / mb * ctx.scale, 2);  // rescaled to 20MB L3
+    };
+    t.add_row({std::to_string(p), cap_str(cs_bounds.lower),
+               cap_str(cs_bounds.upper),
+               am::Table::num(bw_bounds.lower / 1e9, 2),
+               am::Table::num(bw_bounds.upper / 1e9, 2)});
+  }
+  am::bench::emit(t, ctx,
+                  "Fig. 10: MCB per-process resource use vs mapping "
+                  "(capacities rescaled to the 20 MB machine; paper: "
+                  "storage ~3.5-7 MB flat, bandwidth rising as spread out)");
+  return 0;
+}

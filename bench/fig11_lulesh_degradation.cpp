@@ -1,0 +1,124 @@
+// Fig. 11 of the paper: Lulesh (64 MPI ranks) performance degradation.
+//   Top:    22^3 per-rank domains across mappings p in {1,2,4}.
+//   Bottom: 1 process/processor, cube edges 22..36.
+//
+// Paper reference shape: with 4 processes/processor any CSThr overflows
+// the L3 (every process needs > 3.5 MB); with 1/processor, cubes <= 32
+// degrade < 5% for 1-2 CSThrs but > 10% at 5; larger cubes degrade with
+// any storage interference; bandwidth interference costs > 10% for cubes
+// 32 and 36.
+#include <atomic>
+
+#include "bench_util.hpp"
+#include "measure/app_workloads.hpp"
+#include "measure/sim_backend.hpp"
+
+namespace {
+
+struct Run {
+  std::string label;
+  am::measure::Resource resource;
+  std::uint32_t threads;
+  std::uint32_t per_socket;
+  std::uint32_t edge;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  am::Cli cli(argc, argv);
+  auto ctx = am::bench::make_context(cli, /*default_scale=*/16, /*nodes=*/32);
+  const auto ranks = static_cast<std::uint32_t>(cli.get_int("ranks", 64));
+  const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 2));
+  const auto max_cs = static_cast<std::uint32_t>(cli.get_int("max-cs", 5));
+  const auto max_bw = static_cast<std::uint32_t>(cli.get_int("max-bw", 2));
+
+  am::measure::SimBackend backend(ctx.machine, ctx.seed);
+  auto lulesh_cfg = [&](std::uint32_t edge) {
+    auto cfg = am::apps::LuleshConfig::paper(edge, ctx.scale);
+    cfg.steps = steps;
+    return cfg;
+  };
+
+  std::vector<Run> runs;
+  for (const std::uint32_t p : {1u, 2u, 4u}) {
+    const std::uint32_t free_cores = ctx.machine.cores_per_socket - p;
+    for (std::uint32_t k = 0; k <= std::min(max_cs, free_cores); ++k)
+      runs.push_back({"map", am::measure::Resource::kCacheStorage, k, p, 22});
+    for (std::uint32_t k = 1; k <= std::min(max_bw, free_cores); ++k)
+      runs.push_back({"map", am::measure::Resource::kBandwidth, k, p, 22});
+  }
+  for (const std::uint32_t edge : {22u, 25u, 28u, 30u, 32u, 36u}) {
+    for (std::uint32_t k = 0; k <= max_cs; ++k)
+      runs.push_back({"cube", am::measure::Resource::kCacheStorage, k, 1,
+                      edge});
+    for (std::uint32_t k = 1; k <= max_bw; ++k)
+      runs.push_back({"cube", am::measure::Resource::kBandwidth, k, 1, edge});
+  }
+
+  am::ThreadPool pool;
+  for (auto& run : runs) {
+    pool.submit([&ctx, &backend, &lulesh_cfg, &run, ranks] {
+      am::measure::InterferenceSpec spec =
+          run.resource == am::measure::Resource::kCacheStorage
+              ? am::measure::InterferenceSpec::storage(run.threads,
+                                                       ctx.cs_config())
+              : am::measure::InterferenceSpec::bandwidth(run.threads,
+                                                         ctx.bw_config());
+      const auto result = backend.run(
+          am::measure::make_lulesh_workload(ranks, run.per_socket,
+                                            lulesh_cfg(run.edge)),
+          spec);
+      run.seconds = result.seconds;
+    });
+  }
+  pool.wait_idle();
+
+  auto baseline = [&](const std::string& label, std::uint32_t p,
+                      std::uint32_t edge) {
+    for (const auto& r : runs)
+      if (r.label == label && r.per_socket == p && r.edge == edge &&
+          r.threads == 0 &&
+          r.resource == am::measure::Resource::kCacheStorage)
+        return r.seconds;
+    return 0.0;
+  };
+
+  for (const auto resource : {am::measure::Resource::kCacheStorage,
+                              am::measure::Resource::kBandwidth}) {
+    am::Table t({"p/processor", "threads", "time (ms)", "slowdown"});
+    for (const auto& r : runs) {
+      if (r.label != "map" || r.resource != resource) continue;
+      if (resource == am::measure::Resource::kBandwidth && r.threads == 0)
+        continue;
+      t.add_row({std::to_string(r.per_socket), std::to_string(r.threads),
+                 am::Table::num(r.seconds * 1e3, 2),
+                 am::Table::num(r.seconds / baseline("map", r.per_socket, 22),
+                                3)});
+    }
+    am::bench::emit(t, ctx,
+                    std::string("Fig. 11 top: Lulesh 22^3, mapping sweep vs ") +
+                        am::measure::resource_name(resource) +
+                        " interference");
+  }
+
+  for (const auto resource : {am::measure::Resource::kCacheStorage,
+                              am::measure::Resource::kBandwidth}) {
+    am::Table t({"cube edge", "threads", "time (ms)", "slowdown"});
+    for (const auto& r : runs) {
+      if (r.label != "cube" || r.resource != resource) continue;
+      if (resource == am::measure::Resource::kBandwidth && r.threads == 0)
+        continue;
+      t.add_row({std::to_string(r.edge), std::to_string(r.threads),
+                 am::Table::num(r.seconds * 1e3, 2),
+                 am::Table::num(r.seconds / baseline("cube", 1, r.edge), 3)});
+    }
+    am::bench::emit(t, ctx,
+                    std::string("Fig. 11 bottom: Lulesh cube sweep (1 "
+                                "process/processor) vs ") +
+                        am::measure::resource_name(resource) +
+                        " interference");
+  }
+  return 0;
+}

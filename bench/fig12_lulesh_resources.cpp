@@ -1,0 +1,68 @@
+// Fig. 12 of the paper: Lulesh per-process resource consumption vs mapping,
+// for 22^3 and 36^3 per-rank cubes, via the §IV bounds recipe.
+//
+// Paper reference shape: 22^3 processes need ~3.5-7 MB of L3, 36^3
+// processes ~7-20 MB (overflowing); per-process bandwidth use rises as
+// processes spread out, and (for 22^3) storage use rises too because MPI
+// buffers linger in cache during cross-socket transfers.
+#include "bench_util.hpp"
+#include "measure/active_measurer.hpp"
+#include "measure/app_workloads.hpp"
+#include "measure/calibration.hpp"
+
+int main(int argc, char** argv) {
+  am::Cli cli(argc, argv);
+  auto ctx = am::bench::make_context(cli, /*default_scale=*/16, /*nodes=*/32);
+  const auto ranks = static_cast<std::uint32_t>(cli.get_int("ranks", 64));
+  const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 2));
+  const double tolerance = cli.get_double("tolerance", 0.05);
+
+  am::measure::CalibrationOptions copts;
+  copts.max_threads = 5;
+  copts.buffer_to_l3_ratios = {2.5};
+  copts.probe_distributions = {9};
+  copts.accesses_per_probe = 150'000;
+  copts.seed = ctx.seed;
+  const auto cap_calib =
+      am::measure::calibrate_capacity(ctx.machine, ctx.cs_config(), copts);
+  const auto bw_calib = am::measure::calibrate_bandwidth(
+      ctx.machine, ctx.bw_config(), 2, ctx.seed);
+
+  am::measure::SimBackend backend(ctx.machine, ctx.seed);
+  am::measure::ActiveMeasurer measurer(backend, cap_calib, bw_calib);
+
+  const double mb = 1024.0 * 1024.0;
+  for (const std::uint32_t edge : {22u, 36u}) {
+    auto cfg = am::apps::LuleshConfig::paper(edge, ctx.scale);
+    cfg.steps = steps;
+    am::Table t({"p/processor", "capacity lo (MB)", "capacity hi (MB)",
+                 "bandwidth lo (GB/s)", "bandwidth hi (GB/s)"});
+    for (const std::uint32_t p : {1u, 2u, 4u}) {
+      const auto factory = am::measure::make_lulesh_workload(ranks, p, cfg);
+      const auto cs_sweep = measurer.sweep(
+          factory, am::measure::Resource::kCacheStorage,
+          std::min(5u, ctx.machine.cores_per_socket - p), ctx.cs_config(),
+          ctx.bw_config());
+      const auto bw_sweep = measurer.sweep(
+          factory, am::measure::Resource::kBandwidth,
+          std::min(2u, ctx.machine.cores_per_socket - p), ctx.cs_config(),
+          ctx.bw_config());
+      const auto cs_bounds =
+          am::measure::ActiveMeasurer::bounds(cs_sweep, p, tolerance);
+      const auto bw_bounds =
+          am::measure::ActiveMeasurer::bounds(bw_sweep, p, tolerance);
+      auto cap_str = [&](double v) {
+        return am::Table::num(v / mb * ctx.scale, 2);
+      };
+      t.add_row({std::to_string(p), cap_str(cs_bounds.lower),
+                 cap_str(cs_bounds.upper),
+                 am::Table::num(bw_bounds.lower / 1e9, 2),
+                 am::Table::num(bw_bounds.upper / 1e9, 2)});
+    }
+    am::bench::emit(t, ctx,
+                    "Fig. 12: Lulesh " + std::to_string(edge) +
+                        "^3 per-process resource use vs mapping "
+                        "(capacities rescaled to the 20 MB machine)");
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Fig. 9 of the paper: MCB (24 MPI ranks) performance degradation under
+// interference.
+//   Top charts:    20k particles, process mappings p in {1,2,3,4,6} per
+//                  processor, vs number of CSThrs (left) / BWThrs (right).
+//   Bottom charts: 1 process per processor, particle counts 20k..260k.
+//
+// Paper reference shape: (a) the more processes per processor, the fewer
+// CSThrs it takes to degrade; (b) with 20k-260k particles, <= 3 CSThrs
+// cause little degradation while 4-5 cause ~20-25%; (c) BW interference
+// impact grows to ~90k particles, then falls as MCB becomes compute-bound.
+#include <atomic>
+
+#include "bench_util.hpp"
+#include "measure/app_workloads.hpp"
+#include "measure/sim_backend.hpp"
+
+namespace {
+
+struct Run {
+  std::string label;
+  am::measure::Resource resource;
+  std::uint32_t threads;
+  std::uint32_t per_socket;
+  std::uint32_t particles;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  am::Cli cli(argc, argv);
+  auto ctx = am::bench::make_context(cli, /*default_scale=*/16, /*nodes=*/12);
+  const auto ranks = static_cast<std::uint32_t>(cli.get_int("ranks", 24));
+  const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 3));
+  const auto max_cs = static_cast<std::uint32_t>(cli.get_int("max-cs", 5));
+  const auto max_bw = static_cast<std::uint32_t>(cli.get_int("max-bw", 2));
+
+  am::measure::SimBackend backend(ctx.machine, ctx.seed);
+  auto mcb_cfg = [&](std::uint32_t particles) {
+    auto cfg = am::apps::McbConfig::paper(particles, ctx.scale);
+    cfg.steps = steps;
+    return cfg;
+  };
+
+  std::vector<Run> runs;
+  // Top: mapping sweep at 20k particles.
+  for (const std::uint32_t p : {1u, 2u, 3u, 4u, 6u}) {
+    const std::uint32_t free_cores = ctx.machine.cores_per_socket - p;
+    for (std::uint32_t k = 0; k <= std::min(max_cs, free_cores); ++k)
+      runs.push_back({"map", am::measure::Resource::kCacheStorage, k, p,
+                      20'000});
+    for (std::uint32_t k = 1; k <= std::min(max_bw, free_cores); ++k)
+      runs.push_back({"map", am::measure::Resource::kBandwidth, k, p,
+                      20'000});
+  }
+  // Bottom: particle sweep at 1 process per processor.
+  for (const std::uint32_t particles :
+       {20'000u, 60'000u, 90'000u, 140'000u, 180'000u, 220'000u, 260'000u}) {
+    for (std::uint32_t k = 0; k <= max_cs; ++k)
+      runs.push_back({"particles", am::measure::Resource::kCacheStorage, k, 1,
+                      particles});
+    for (std::uint32_t k = 1; k <= max_bw; ++k)
+      runs.push_back({"particles", am::measure::Resource::kBandwidth, k, 1,
+                      particles});
+  }
+
+  am::ThreadPool pool;
+  for (auto& run : runs) {
+    pool.submit([&ctx, &backend, &mcb_cfg, &run, ranks] {
+      am::measure::InterferenceSpec spec =
+          run.resource == am::measure::Resource::kCacheStorage
+              ? am::measure::InterferenceSpec::storage(run.threads,
+                                                       ctx.cs_config())
+              : am::measure::InterferenceSpec::bandwidth(run.threads,
+                                                         ctx.bw_config());
+      const auto result = backend.run(
+          am::measure::make_mcb_workload(ranks, run.per_socket,
+                                         mcb_cfg(run.particles)),
+          spec);
+      run.seconds = result.seconds;
+    });
+  }
+  pool.wait_idle();
+
+  auto baseline = [&](const std::string& label, std::uint32_t p,
+                      std::uint32_t particles) {
+    for (const auto& r : runs)
+      if (r.label == label && r.per_socket == p && r.particles == particles &&
+          r.threads == 0 &&
+          r.resource == am::measure::Resource::kCacheStorage)
+        return r.seconds;
+    return 0.0;
+  };
+
+  for (const auto resource : {am::measure::Resource::kCacheStorage,
+                              am::measure::Resource::kBandwidth}) {
+    am::Table t({"p/processor", "threads", "time (ms)", "slowdown"});
+    for (const auto& r : runs) {
+      if (r.label != "map" || r.resource != resource) continue;
+      if (resource == am::measure::Resource::kBandwidth && r.threads == 0)
+        continue;
+      const double base = baseline("map", r.per_socket, 20'000);
+      t.add_row({std::to_string(r.per_socket), std::to_string(r.threads),
+                 am::Table::num(r.seconds * 1e3, 2),
+                 am::Table::num(r.seconds / base, 3)});
+    }
+    am::bench::emit(t, ctx,
+                    std::string("Fig. 9 top: MCB 20k particles, mapping "
+                                "sweep vs ") +
+                        am::measure::resource_name(resource) +
+                        " interference");
+  }
+
+  for (const auto resource : {am::measure::Resource::kCacheStorage,
+                              am::measure::Resource::kBandwidth}) {
+    am::Table t({"particles", "threads", "time (ms)", "slowdown"});
+    for (const auto& r : runs) {
+      if (r.label != "particles" || r.resource != resource) continue;
+      if (resource == am::measure::Resource::kBandwidth && r.threads == 0)
+        continue;
+      const double base = baseline("particles", 1, r.particles);
+      t.add_row({std::to_string(r.particles), std::to_string(r.threads),
+                 am::Table::num(r.seconds * 1e3, 2),
+                 am::Table::num(r.seconds / base, 3)});
+    }
+    am::bench::emit(t, ctx,
+                    std::string("Fig. 9 bottom: MCB particle sweep (1 "
+                                "process/processor) vs ") +
+                        am::measure::resource_name(resource) +
+                        " interference");
+  }
+  return 0;
+}

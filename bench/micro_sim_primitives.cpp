@@ -1,0 +1,70 @@
+// google-benchmark microbenchmarks for the simulator's hot primitives:
+// cache lookups, hierarchy walks, distribution sampling. These guard the
+// simulation throughput that makes the full-figure sweeps laptop-feasible.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "model/distributions.hpp"
+#include "sim/memory_system.hpp"
+
+namespace {
+
+void BM_CacheHit(benchmark::State& state) {
+  am::sim::Cache cache({32 * 1024, 64, 8, "L1"});
+  cache.access(42, 0);
+  for (auto _ : state) benchmark::DoNotOptimize(cache.access(42, 0).hit);
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheMissEvict(benchmark::State& state) {
+  am::sim::Cache cache({32 * 1024, 64, 8, "L1"});
+  am::sim::Addr line = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.access(line++, 0).evicted);
+}
+BENCHMARK(BM_CacheMissEvict);
+
+void BM_HierarchyWalkRandom(benchmark::State& state) {
+  auto cfg = am::sim::MachineConfig::xeon20mb_scaled(
+      static_cast<std::uint32_t>(state.range(0)));
+  cfg.prefetcher.enabled = state.range(1) != 0;
+  am::sim::MemorySystem ms(cfg);
+  const am::sim::Addr base = ms.alloc(cfg.l3.size_bytes * 2);
+  const std::uint64_t lines = cfg.l3.size_bytes * 2 / 64;
+  am::Rng rng(7);
+  am::sim::Cycles now = 0;
+  for (auto _ : state) {
+    const auto res = ms.access(0, base + rng.bounded(lines) * 64,
+                               am::sim::AccessKind::kLoad, now);
+    now = res.complete;
+    benchmark::DoNotOptimize(res.level);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyWalkRandom)->Args({16, 0})->Args({16, 1})->Args({1, 0});
+
+void BM_DistributionSample(benchmark::State& state) {
+  const auto dists = am::model::AccessDistribution::table2(1 << 20);
+  const auto& dist = dists[static_cast<std::size_t>(state.range(0))];
+  am::Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(dist.sample(rng));
+  state.SetLabel(dist.name());
+}
+BENCHMARK(BM_DistributionSample)->DenseRange(0, 9);
+
+void BM_EngineStepOverhead(benchmark::State& state) {
+  // Measures raw per-access engine cost with an L1-resident walker.
+  auto cfg = am::sim::MachineConfig::xeon20mb_scaled(16);
+  am::sim::MemorySystem ms(cfg);
+  const am::sim::Addr addr = ms.alloc(64);
+  am::sim::Cycles now = 0;
+  for (auto _ : state) {
+    const auto res = ms.access(0, addr, am::sim::AccessKind::kLoad, now);
+    now = res.complete;
+    benchmark::DoNotOptimize(res.complete);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineStepOverhead);
+
+}  // namespace

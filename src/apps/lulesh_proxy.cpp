@@ -1,0 +1,143 @@
+#include "apps/lulesh_proxy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace am::apps {
+
+namespace {
+
+/// Integer cube root for rank-grid construction; exact for perfect cubes.
+std::uint32_t icbrt(std::uint32_t n) {
+  auto r = static_cast<std::uint32_t>(std::lround(std::cbrt(n)));
+  while (r * r * r > n) --r;
+  while ((r + 1) * (r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+}  // namespace
+
+LuleshConfig LuleshConfig::paper(std::uint32_t edge, std::uint32_t scale) {
+  if (scale == 0) throw std::invalid_argument("LuleshConfig: scale == 0");
+  LuleshConfig c;
+  const double shrink = std::cbrt(static_cast<double>(scale));
+  c.edge = std::max(4u, static_cast<std::uint32_t>(
+                            std::lround(edge / shrink)));
+  return c;
+}
+
+LuleshProxyAgent::LuleshProxyAgent(sim::Engine& engine,
+                                   minimpi::Communicator& comm,
+                                   const minimpi::Mapping& mapping,
+                                   std::uint32_t rank, LuleshConfig config)
+    : sim::Agent("lulesh[" + std::to_string(rank) + "]"),
+      config_(config),
+      comm_(&comm),
+      rank_(rank) {
+  const std::uint32_t n = mapping.num_ranks();
+  const std::uint32_t g = icbrt(n);
+  if (g * g * g != n)
+    throw std::invalid_argument("LuleshProxy needs a cubic rank count");
+  const std::uint32_t x = rank % g, y = (rank / g) % g, z = rank / (g * g);
+  auto add_neighbour = [&](int dx, int dy, int dz) {
+    const int nx = static_cast<int>(x) + dx;
+    const int ny = static_cast<int>(y) + dy;
+    const int nz = static_cast<int>(z) + dz;
+    if (nx < 0 || ny < 0 || nz < 0 || nx >= static_cast<int>(g) ||
+        ny >= static_cast<int>(g) || nz >= static_cast<int>(g))
+      return;
+    neighbours_.push_back(static_cast<std::uint32_t>(
+        nx + ny * static_cast<int>(g) + nz * static_cast<int>(g * g)));
+  };
+  add_neighbour(-1, 0, 0);
+  add_neighbour(1, 0, 0);
+  add_neighbour(0, -1, 0);
+  add_neighbour(0, 1, 0);
+  add_neighbour(0, 0, -1);
+  add_neighbour(0, 0, 1);
+  got_.assign(neighbours_.size(), false);
+
+  auto& ms = engine.memory();
+  const auto line = ms.config().l3.line_bytes;
+  const std::uint64_t field_bytes = config_.elements() * 8;
+  lines_per_field_ = (field_bytes + line - 1) / line;
+  field_base_.reserve(config_.fields);
+  for (std::uint32_t f = 0; f < config_.fields; ++f)
+    field_base_.push_back(ms.alloc(lines_per_field_ * line, line));
+}
+
+void LuleshProxyAgent::sweep_chunk(sim::AgentContext& ctx) {
+  const auto line = ctx.engine().config().l3.line_bytes;
+  // Each sweep streams sweep_fields input fields (rotating through the 40
+  // resident arrays so all of them stay live across a timestep) and writes
+  // one output field; neighbour gathers add strided touches at +-edge and
+  // +-edge^2 elements.
+  constexpr std::uint64_t kChunk = 4;
+  const std::uint64_t end = std::min(line_cursor_ + kChunk, lines_per_field_);
+  const std::uint32_t first_field =
+      (sweep_cursor_ * config_.sweep_fields) % config_.fields;
+  const std::uint64_t edge_lines =
+      std::max<std::uint64_t>(1, config_.edge * 8 / line);
+  for (std::uint64_t l = line_cursor_; l < end; ++l) {
+    batch_.clear();
+    for (std::uint32_t f = 0; f < config_.sweep_fields; ++f) {
+      const auto base = field_base_[(first_field + f) % config_.fields];
+      batch_.push_back(base + l * line);
+    }
+    // Neighbour gathers in the first input field: +-edge, +-edge^2.
+    const auto base = field_base_[first_field];
+    const std::uint64_t plane_lines = edge_lines * config_.edge;
+    batch_.push_back(base + ((l + edge_lines) % lines_per_field_) * line);
+    batch_.push_back(base + ((l + plane_lines) % lines_per_field_) * line);
+    ctx.load_batch(batch_);
+    const auto out =
+        field_base_[(first_field + config_.sweep_fields) % config_.fields];
+    ctx.store(out + l * line);
+    // ops_per_element, 8 elements per line.
+    ctx.compute(config_.ops_per_element * (line / 8));
+  }
+  line_cursor_ = end;
+}
+
+void LuleshProxyAgent::step(sim::AgentContext& ctx) {
+  if (finished()) return;
+  switch (phase_) {
+    case Phase::kSweep:
+      sweep_chunk(ctx);
+      if (line_cursor_ >= lines_per_field_) {
+        line_cursor_ = 0;
+        ++sweep_cursor_;
+        if (sweep_cursor_ >= config_.sweeps) {
+          sweep_cursor_ = 0;
+          phase_ = Phase::kSend;
+        }
+      }
+      break;
+    case Phase::kSend:
+      for (const auto nb : neighbours_)
+        comm_->send(ctx, rank_, nb, config_.halo_bytes());
+      std::fill(got_.begin(), got_.end(), false);
+      recv_cursor_ = 0;
+      phase_ = Phase::kRecv;
+      break;
+    case Phase::kRecv: {
+      bool all = true;
+      for (std::size_t i = 0; i < neighbours_.size(); ++i) {
+        if (!got_[i]) got_[i] = comm_->try_recv(ctx, neighbours_[i], rank_);
+        all = all && got_[i];
+      }
+      if (all) {
+        ++steps_done_;
+        phase_ = Phase::kSweep;
+      } else {
+        ctx.compute(50);  // poll delay
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace am::apps

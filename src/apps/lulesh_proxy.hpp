@@ -1,0 +1,77 @@
+#pragma once
+// LULESH proxy. The paper measures LLNL's LULESH shock-hydrodynamics
+// benchmark (64 MPI ranks, per-rank cube domains of edge 22..36); this
+// proxy reproduces its memory/communication signature:
+//   - ~40 resident field arrays of 8 B per element (so a 22^3 domain's
+//     working set is ~3.4 MB/rank and a 36^3 domain's ~14.9 MB/rank,
+//     matching the capacities the paper infers in Fig. 11/12),
+//   - bandwidth-heavy stencil sweeps: unit-stride streams through several
+//     fields plus neighbour gathers at +-edge and +-edge^2 strides,
+//   - 6-face halo exchange on a 4x4x4 rank grid each timestep.
+#include <cstdint>
+
+#include "minimpi/communicator.hpp"
+#include "sim/agent.hpp"
+
+namespace am::apps {
+
+struct LuleshConfig {
+  std::uint32_t edge = 22;      // per-rank cube edge (the paper's x-axis)
+  std::uint32_t steps = 3;
+  std::uint32_t fields = 40;    // resident 8-byte field arrays
+  std::uint32_t sweeps = 3;     // stencil passes per timestep
+  std::uint32_t sweep_fields = 6;  // fields streamed per sweep
+  std::uint32_t comm_fields = 6;   // fields exchanged in halos
+  std::uint32_t ops_per_element = 40;
+
+  /// Paper-shaped configuration scaled down by `scale`: the cube edge
+  /// shrinks by cbrt(scale) so the working-set : L3 ratio is preserved.
+  static LuleshConfig paper(std::uint32_t edge, std::uint32_t scale);
+
+  std::uint64_t elements() const {
+    return static_cast<std::uint64_t>(edge) * edge * edge;
+  }
+  std::uint64_t working_set_bytes() const { return elements() * fields * 8; }
+  std::uint64_t halo_bytes() const {
+    return static_cast<std::uint64_t>(edge) * edge * 8 * comm_fields;
+  }
+};
+
+class LuleshProxyAgent final : public sim::Agent {
+ public:
+  /// `mapping` must hold a cubic rank count (8, 27, 64, ...); ranks form a
+  /// 3D grid with face neighbours.
+  LuleshProxyAgent(sim::Engine& engine, minimpi::Communicator& comm,
+                   const minimpi::Mapping& mapping, std::uint32_t rank,
+                   LuleshConfig config);
+
+  void step(sim::AgentContext& ctx) override;
+  bool finished() const override { return steps_done_ >= config_.steps; }
+
+  std::uint32_t steps_done() const { return steps_done_; }
+  const LuleshConfig& config() const { return config_; }
+  const std::vector<std::uint32_t>& neighbours() const { return neighbours_; }
+
+ private:
+  enum class Phase { kSweep, kSend, kRecv };
+
+  void sweep_chunk(sim::AgentContext& ctx);
+
+  LuleshConfig config_;
+  minimpi::Communicator* comm_;
+  std::uint32_t rank_;
+  std::vector<std::uint32_t> neighbours_;
+
+  std::vector<sim::Addr> field_base_;  // one address per field array
+  std::uint64_t lines_per_field_ = 0;
+
+  Phase phase_ = Phase::kSweep;
+  std::uint32_t sweep_cursor_ = 0;   // which sweep within the timestep
+  std::uint64_t line_cursor_ = 0;    // line within the sweep
+  std::size_t recv_cursor_ = 0;
+  std::vector<bool> got_;
+  std::uint32_t steps_done_ = 0;
+  std::vector<sim::Addr> batch_;
+};
+
+}  // namespace am::apps

@@ -1,0 +1,120 @@
+#include "apps/mcb_proxy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace am::apps {
+
+McbConfig McbConfig::paper(std::uint32_t particles, std::uint32_t scale) {
+  if (scale == 0) throw std::invalid_argument("McbConfig: scale == 0");
+  McbConfig c;
+  c.particles = std::max(64u, particles / scale);
+  c.xs_table_bytes = std::max<std::uint64_t>(4096, c.xs_table_bytes / scale);
+  c.tally_bytes = std::max<std::uint64_t>(4096, c.tally_bytes / scale);
+  c.comm_cap_bytes = std::max<std::uint64_t>(4096, c.comm_cap_bytes / scale);
+  c.reference_particles = std::max(64u, c.reference_particles / scale);
+  return c;
+}
+
+std::uint32_t McbConfig::ops_per_particle() const {
+  const double growth = std::cbrt(static_cast<double>(particles) /
+                                  static_cast<double>(reference_particles));
+  return static_cast<std::uint32_t>(
+      std::max(1.0, base_ops_per_particle * growth));
+}
+
+std::uint64_t McbConfig::comm_bytes_per_step() const {
+  const auto raw = static_cast<std::uint64_t>(
+      crossing_fraction * static_cast<double>(particles) *
+      static_cast<double>(bytes_per_particle));
+  return std::clamp<std::uint64_t>(raw, 64, comm_cap_bytes);
+}
+
+McbProxyAgent::McbProxyAgent(sim::Engine& engine, minimpi::Communicator& comm,
+                             const minimpi::Mapping& mapping,
+                             std::uint32_t rank, McbConfig config)
+    : sim::Agent("mcb[" + std::to_string(rank) + "]"),
+      config_(config),
+      comm_(&comm),
+      mapping_(&mapping),
+      rank_(rank) {
+  const std::uint32_t n = mapping.num_ranks();
+  if (n < 2) throw std::invalid_argument("McbProxy needs >= 2 ranks");
+  left_ = (rank_ + n - 1) % n;
+  right_ = (rank_ + 1) % n;
+  auto& ms = engine.memory();
+  const auto line = ms.config().l3.line_bytes;
+  particles_base_ = ms.alloc(
+      static_cast<std::uint64_t>(config_.particles) *
+          config_.bytes_per_particle,
+      line);
+  xs_base_ = ms.alloc(config_.xs_table_bytes, line);
+  tally_base_ = ms.alloc(config_.tally_bytes, line);
+  xs_lines_ = config_.xs_table_bytes / line;
+  tally_lines_ = config_.tally_bytes / line;
+}
+
+void McbProxyAgent::track_chunk(sim::AgentContext& ctx) {
+  const auto line = ctx.engine().config().l3.line_bytes;
+  const std::uint64_t particle_lines =
+      (config_.bytes_per_particle + line - 1) / line;
+  const std::uint32_t ops = config_.ops_per_particle();
+  constexpr std::uint32_t kChunk = 16;
+  const std::uint32_t end =
+      std::min(particle_cursor_ + kChunk, config_.particles);
+  for (std::uint32_t p = particle_cursor_; p < end; ++p) {
+    batch_.clear();
+    // Stream the particle record...
+    const sim::Addr prec =
+        particles_base_ + static_cast<std::uint64_t>(p) *
+                              config_.bytes_per_particle;
+    for (std::uint64_t l = 0; l < particle_lines; ++l)
+      batch_.push_back(prec + l * line);
+    // ...and gather random cross-sections for each collision.
+    for (std::uint32_t x = 0; x < config_.xs_lookups_per_particle; ++x)
+      batch_.push_back(xs_base_ + ctx.rng().bounded(xs_lines_) * line);
+    ctx.load_batch(batch_);
+    // Score into a random tally bin and update the particle state.
+    ctx.store(tally_base_ + ctx.rng().bounded(tally_lines_) * line);
+    ctx.store(prec);
+    ctx.compute(ops);
+  }
+  particle_cursor_ = end;
+}
+
+void McbProxyAgent::step(sim::AgentContext& ctx) {
+  if (finished()) return;
+  switch (phase_) {
+    case Phase::kTrack:
+      track_chunk(ctx);
+      if (particle_cursor_ >= config_.particles) {
+        particle_cursor_ = 0;
+        phase_ = Phase::kSend;
+      }
+      break;
+    case Phase::kSend: {
+      const std::uint64_t bytes = config_.comm_bytes_per_step();
+      comm_->send(ctx, rank_, left_, bytes);
+      comm_->send(ctx, rank_, right_, bytes);
+      got_left_ = got_right_ = false;
+      phase_ = Phase::kRecv;
+      break;
+    }
+    case Phase::kRecv: {
+      if (!got_left_) got_left_ = comm_->try_recv(ctx, left_, rank_);
+      if (!got_right_) got_right_ = comm_->try_recv(ctx, right_, rank_);
+      if (got_left_ && got_right_) {
+        ++steps_done_;
+        phase_ = Phase::kTrack;
+      } else {
+        ctx.compute(50);  // poll delay
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace am::apps

@@ -1,0 +1,84 @@
+#pragma once
+// Monte Carlo Benchmark (MCB) proxy. The paper measures LLNL's MCB, a
+// Monte Carlo neutron-transport code; this proxy reproduces its memory and
+// communication signature on the simulator:
+//   - a *streamed* particle array (footprint grows with the particle count
+//     but is never L3-resident — matching the paper's finding that MCB's
+//     L3 use stays at 4-7 MB/process from 20k to 260k particles),
+//   - *resident* cross-section tables and tally arrays hit randomly per
+//     particle (these are the 4-7 MB the application actively uses),
+//   - ring halo exchange whose volume grows with the particle count up to
+//     a buffer cap (communication pressure peaks near 90k particles, after
+//     which per-particle tracking work grows and the code becomes more
+//     compute-bound, as in the paper's Fig. 9 bottom-right discussion).
+#include <cstdint>
+
+#include "minimpi/communicator.hpp"
+#include "sim/agent.hpp"
+
+namespace am::apps {
+
+struct McbConfig {
+  std::uint32_t particles = 20'000;  // per rank
+  std::uint32_t steps = 4;
+  std::uint64_t bytes_per_particle = 160;
+  std::uint64_t xs_table_bytes = 3584 * 1024;   // ~3.5 MB resident
+  std::uint64_t tally_bytes = 2560 * 1024;      // ~2.5 MB resident
+  std::uint32_t xs_lookups_per_particle = 2;
+  /// Fraction of particles crossing to each ring neighbour per step.
+  double crossing_fraction = 0.05;
+  /// Communication buffer cap per neighbour per step (bytes): exchanges
+  /// saturate here, like MCB's fixed-size particle buffers.
+  std::uint64_t comm_cap_bytes = 720'000;  // ~90k * 0.05 * 160
+  /// Tracking work per particle at `reference_particles`; grows with the
+  /// cube root of the particle count (longer tracks in larger problems).
+  std::uint32_t base_ops_per_particle = 50;
+  std::uint32_t reference_particles = 20'000;
+
+  /// Paper-shaped configuration scaled down by `scale` (memory footprints
+  /// and particle counts divided; structure preserved).
+  static McbConfig paper(std::uint32_t particles, std::uint32_t scale);
+
+  /// Tracking ops per particle for this configuration.
+  std::uint32_t ops_per_particle() const;
+  /// Per-neighbour exchange volume per step, after the buffer cap.
+  std::uint64_t comm_bytes_per_step() const;
+};
+
+class McbProxyAgent final : public sim::Agent {
+ public:
+  McbProxyAgent(sim::Engine& engine, minimpi::Communicator& comm,
+                const minimpi::Mapping& mapping, std::uint32_t rank,
+                McbConfig config);
+
+  void step(sim::AgentContext& ctx) override;
+  bool finished() const override { return steps_done_ >= config_.steps; }
+
+  std::uint32_t steps_done() const { return steps_done_; }
+  const McbConfig& config() const { return config_; }
+
+ private:
+  enum class Phase { kTrack, kSend, kRecv };
+
+  void track_chunk(sim::AgentContext& ctx);
+
+  McbConfig config_;
+  minimpi::Communicator* comm_;
+  const minimpi::Mapping* mapping_;
+  std::uint32_t rank_;
+  std::uint32_t left_, right_;  // ring neighbours
+
+  sim::Addr particles_base_ = 0;
+  sim::Addr xs_base_ = 0;
+  sim::Addr tally_base_ = 0;
+  std::uint64_t xs_lines_ = 0;
+  std::uint64_t tally_lines_ = 0;
+
+  Phase phase_ = Phase::kTrack;
+  std::uint32_t particle_cursor_ = 0;
+  bool got_left_ = false, got_right_ = false;
+  std::uint32_t steps_done_ = 0;
+  std::vector<sim::Addr> batch_;
+};
+
+}  // namespace am::apps

@@ -1,0 +1,46 @@
+#include "apps/stream_probe.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace am::apps {
+
+StreamProbeAgent::StreamProbeAgent(sim::MemorySystem& memory,
+                                   StreamProbeConfig config, std::string name)
+    : sim::Agent(std::move(name)), config_(config) {
+  const auto line = memory.config().l3.line_bytes;
+  if (config_.array_bytes < line || config_.passes == 0)
+    throw std::invalid_argument("StreamProbeConfig: degenerate");
+  lines_per_array_ = config_.array_bytes / line;
+  a_ = memory.alloc(config_.array_bytes, line);
+  b_ = memory.alloc(config_.array_bytes, line);
+  c_ = memory.alloc(config_.array_bytes, line);
+}
+
+void StreamProbeAgent::step(sim::AgentContext& ctx) {
+  if (finished()) return;
+  const auto line = ctx.engine().config().l3.line_bytes;
+  // Process a chunk of lines: load b and c, store a. Unit-stride and
+  // independent, so everything batches (and prefetches).
+  constexpr std::uint64_t kChunk = 8;
+  const std::uint64_t end = std::min(line_ + kChunk, lines_per_array_);
+  batch_.clear();
+  for (std::uint64_t l = line_; l < end; ++l) {
+    batch_.push_back(b_ + l * line);
+    batch_.push_back(c_ + l * line);
+  }
+  ctx.load_batch(batch_);
+  batch_.clear();
+  for (std::uint64_t l = line_; l < end; ++l) batch_.push_back(a_ + l * line);
+  ctx.store_batch(batch_);
+  ctx.compute(end - line_);  // one FMA per element-line, nominal
+  line_ = end;
+  if (line_ >= lines_per_array_) {
+    line_ = 0;
+    ++passes_done_;
+  }
+}
+
+}  // namespace am::apps

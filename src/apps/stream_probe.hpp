@@ -1,0 +1,39 @@
+#pragma once
+// STREAM-style bandwidth probe (triad: a[i] = b[i] + s*c[i]), used to
+// calibrate the simulated machine's peak memory bandwidth the same way the
+// paper cites McCalpin's STREAM for the Xeon20MB's 17 GB/s figure.
+#include <cstdint>
+
+#include "sim/agent.hpp"
+#include "sim/memory_system.hpp"
+
+namespace am::apps {
+
+struct StreamProbeConfig {
+  std::uint64_t array_bytes = 8 * 1024 * 1024;  // each of a, b, c
+  std::uint32_t passes = 3;
+};
+
+class StreamProbeAgent final : public sim::Agent {
+ public:
+  StreamProbeAgent(sim::MemorySystem& memory, StreamProbeConfig config,
+                   std::string name = "stream");
+
+  void step(sim::AgentContext& ctx) override;
+  bool finished() const override { return passes_done_ >= config_.passes; }
+
+  /// Payload bytes moved by the triad (3 arrays per pass).
+  std::uint64_t payload_bytes() const {
+    return static_cast<std::uint64_t>(passes_done_) * 3 * config_.array_bytes;
+  }
+
+ private:
+  StreamProbeConfig config_;
+  sim::Addr a_ = 0, b_ = 0, c_ = 0;
+  std::uint64_t lines_per_array_;
+  std::uint64_t line_ = 0;
+  std::uint32_t passes_done_ = 0;
+  std::vector<sim::Addr> batch_;
+};
+
+}  // namespace am::apps

@@ -1,0 +1,51 @@
+#pragma once
+// The paper's synthetic validation benchmark (Fig. 4): a loop that samples
+// a buffer index from a probability distribution, reads it, and performs a
+// configurable number of integer operations on the value. Used to validate
+// the EHR model (Fig. 5) and to quantify CSThr's effective capacity theft
+// (Fig. 6).
+#include <cstdint>
+
+#include "model/distributions.hpp"
+#include "sim/agent.hpp"
+#include "sim/memory_system.hpp"
+
+namespace am::apps {
+
+struct SyntheticConfig {
+  model::AccessDistribution dist;  // over element indices [0, n)
+  std::uint64_t element_bytes = 4; // paper: int buffer
+  /// Integer ops between consecutive loads (paper uses 1, 10, 100).
+  std::uint32_t compute_ops = 1;
+  /// Accesses before measurement starts (cache warm-up; the paper sets
+  /// N_ACCESS much larger than the buffer to reach steady state).
+  std::uint64_t warmup_accesses = 0;
+  /// Accesses counted in the measurement window.
+  std::uint64_t measured_accesses = 1'000'000;
+};
+
+class SyntheticBenchmarkAgent final : public sim::Agent {
+ public:
+  SyntheticBenchmarkAgent(sim::MemorySystem& memory, SyntheticConfig config,
+                          std::string name = "synthetic");
+
+  void step(sim::AgentContext& ctx) override;
+  bool finished() const override {
+    return done_ >= config_.warmup_accesses + config_.measured_accesses;
+  }
+
+  /// Cycle at which the measurement window began (engine stats were reset).
+  sim::Cycles measure_start_cycle() const { return measure_start_; }
+  bool measuring() const { return measuring_; }
+  std::uint64_t accesses_done() const { return done_; }
+  const SyntheticConfig& config() const { return config_; }
+
+ private:
+  SyntheticConfig config_;
+  sim::Addr base_ = 0;
+  std::uint64_t done_ = 0;
+  bool measuring_ = false;
+  sim::Cycles measure_start_ = 0;
+};
+
+}  // namespace am::apps

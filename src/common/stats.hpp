@@ -1,0 +1,49 @@
+#pragma once
+// Streaming and batch summary statistics used throughout validation benches.
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace am {
+
+/// Welford streaming mean/variance accumulator. Numerically stable; O(1)
+/// per observation, so it can sit inside simulator hot loops.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0,100]. Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+
+/// Mean absolute difference between two equally sized samples.
+double mean_abs_error(std::span<const double> a, std::span<const double> b);
+
+}  // namespace am

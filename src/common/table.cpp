@@ -1,0 +1,78 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace am {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace am

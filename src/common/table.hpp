@@ -1,0 +1,37 @@
+#pragma once
+// Aligned ASCII tables + CSV export for bench output. Every bench binary
+// prints one table per paper figure/table through this writer so the output
+// format is uniform and machine-parsable.
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace am {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  /// Writes CSV to a file path; returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const {
+    return rows_.at(r).at(c);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace am

@@ -1,0 +1,36 @@
+#pragma once
+// Byte-size and rate units plus human-readable formatting helpers.
+#include <cstdint>
+#include <string>
+
+namespace am {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/// Formats a byte count as e.g. "20.0MB" (binary units, one decimal).
+inline std::string format_bytes(double bytes) {
+  const char* suffix = "B";
+  double v = bytes;
+  if (v >= static_cast<double>(GiB)) {
+    v /= static_cast<double>(GiB);
+    suffix = "GB";
+  } else if (v >= static_cast<double>(MiB)) {
+    v /= static_cast<double>(MiB);
+    suffix = "MB";
+  } else if (v >= static_cast<double>(KiB)) {
+    v /= static_cast<double>(KiB);
+    suffix = "KB";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%s", v, suffix);
+  return buf;
+}
+
+/// Formats a bandwidth in bytes/second as e.g. "2.8GB/s".
+inline std::string format_bandwidth(double bytes_per_sec) {
+  return format_bytes(bytes_per_sec) + "/s";
+}
+
+}  // namespace am

@@ -1,0 +1,49 @@
+#include "interfere/bwthr_agent.hpp"
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace am::interfere {
+
+BWThrAgent::BWThrAgent(sim::MemorySystem& memory, BWThrConfig config,
+                       std::string name)
+    : sim::Agent(std::move(name)), config_(config) {
+  const auto line = memory.config().l3.line_bytes;
+  if (config_.buffer_bytes < line || config_.num_buffers == 0)
+    throw std::invalid_argument("BWThrConfig: degenerate geometry");
+  lines_per_buffer_ = config_.buffer_bytes / line;
+  buffer_base_.reserve(config_.num_buffers);
+  for (std::uint32_t b = 0; b < config_.num_buffers; ++b)
+    buffer_base_.push_back(memory.alloc(config_.buffer_bytes, line));
+  batch_.reserve(config_.num_buffers);
+}
+
+void BWThrAgent::step(sim::AgentContext& ctx) {
+  const auto line = ctx.engine().config().l3.line_bytes;
+  // A slice of one iteration of the paper's infinite loop: touch the next
+  // group of buffers at the current strided index. The accesses are
+  // independent, so they are issued as a batch (the machine caps how many
+  // misses actually overlap).
+  const std::uint64_t line_idx =
+      (index_ * config_.line_stride) % lines_per_buffer_;
+  const std::uint32_t end =
+      std::min(buffer_cursor_ + config_.buffers_per_step, config_.num_buffers);
+  batch_.clear();
+  for (std::uint32_t b = buffer_cursor_; b < end; ++b)
+    batch_.push_back(buffer_base_[b] + line_idx * line);
+  ctx.load_batch(batch_);
+  // The ++ stores hit the just-filled lines.
+  ctx.store_batch(batch_);
+  // Address-generation dependence chain (identity() + modulo) per buffer.
+  ctx.compute(static_cast<sim::Cycles>(end - buffer_cursor_) *
+              config_.index_compute_cycles);
+  buffer_cursor_ = end;
+  if (buffer_cursor_ >= config_.num_buffers) {
+    buffer_cursor_ = 0;
+    ++index_;
+    ++iterations_;
+  }
+}
+
+}  // namespace am::interfere

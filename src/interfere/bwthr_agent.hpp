@@ -1,0 +1,61 @@
+#pragma once
+// Simulator version of the paper's bandwidth interference thread BWThr
+// (Fig. 2): many buffers walked concurrently with a constant prime stride,
+// so that (a) nearly every access misses the private caches, (b) the
+// constant stride lets the stream prefetcher pull extra bandwidth, and
+// (c) the buffer count provides memory-level parallelism.
+//
+// Adaptation from the paper's code: the paper strides element indices by a
+// large prime; we stride *cache-line* indices by a prime that stays inside
+// the prefetcher's stream window, which preserves both properties the
+// paper wants (no private-cache reuse, prefetcher engagement) under the
+// simulator's exact-stride stream detector.
+#include <cstdint>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "sim/memory_system.hpp"
+
+namespace am::interfere {
+
+struct BWThrConfig {
+  std::uint64_t buffer_bytes = 520 * 1024;  // per buffer, as in the paper
+  std::uint32_t num_buffers = 44;           // paper: "44 ... sufficient"
+  std::uint32_t line_stride = 17;           // prime, in cache lines
+  /// Serial index-computation cost per buffer access: the paper's opaque
+  /// identity() call plus the integer modulo are on the address dependence
+  /// chain and cannot overlap with the miss. Calibrated so one thread
+  /// draws ~2.8 GB/s on the Xeon20MB model, as measured in §III-A.
+  std::uint32_t index_compute_cycles = 20;
+  /// Buffers touched per engine step. Small groups keep the simulated
+  /// interleaving with other agents fine-grained (the engine serializes
+  /// each step's memory traffic).
+  std::uint32_t buffers_per_step = 8;
+};
+
+class BWThrAgent final : public sim::Agent {
+ public:
+  /// Allocates the buffers from the memory system's simulated heap.
+  BWThrAgent(sim::MemorySystem& memory, BWThrConfig config,
+             std::string name = "BWThr");
+
+  void step(sim::AgentContext& ctx) override;
+  bool finished() const override { return false; }  // runs until stopped
+
+  /// Main-loop iterations completed (one iteration = one access per buffer),
+  /// for the Fig. 7 "time per 1e7 iterations" metric.
+  std::uint64_t iterations() const { return iterations_; }
+
+  const BWThrConfig& config() const { return config_; }
+
+ private:
+  BWThrConfig config_;
+  std::vector<sim::Addr> buffer_base_;
+  std::vector<sim::Addr> batch_;
+  std::uint64_t lines_per_buffer_;
+  std::uint64_t index_ = 0;  // loop counter i of the paper's pseudo-code
+  std::uint32_t buffer_cursor_ = 0;  // next buffer within the round
+  std::uint64_t iterations_ = 0;
+};
+
+}  // namespace am::interfere

@@ -1,0 +1,32 @@
+#include "interfere/csthr_agent.hpp"
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace am::interfere {
+
+namespace {
+constexpr std::uint64_t kElementBytes = 4;  // int, as in the paper's Fig. 3
+}
+
+CSThrAgent::CSThrAgent(sim::MemorySystem& memory, CSThrConfig config,
+                       std::string name)
+    : sim::Agent(std::move(name)), config_(config) {
+  if (config_.buffer_bytes < kElementBytes || config_.batch_size == 0)
+    throw std::invalid_argument("CSThrConfig: degenerate geometry");
+  num_elements_ = config_.buffer_bytes / kElementBytes;
+  base_ = memory.alloc(config_.buffer_bytes, memory.config().l3.line_bytes);
+  batch_.resize(config_.batch_size);
+}
+
+void CSThrAgent::step(sim::AgentContext& ctx) {
+  for (auto& addr : batch_)
+    addr = base_ + ctx.rng().bounded(num_elements_) * kElementBytes;
+  ctx.load_batch(batch_);
+  ctx.store_batch(batch_);           // the ++ write-back, hits in L1
+  ctx.compute(config_.batch_size);   // one add per element
+  operations_ += config_.batch_size;
+}
+
+}  // namespace am::interfere

@@ -1,0 +1,43 @@
+#pragma once
+// Simulator version of the paper's cache-storage interference thread CSThr
+// (Fig. 3): random touches over a fixed-size buffer. The random pattern
+// defeats the prefetcher and almost always misses the private caches while
+// hitting the shared L3, which keeps the buffer resident there and denies
+// the application that capacity.
+#include <cstdint>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "sim/memory_system.hpp"
+
+namespace am::interfere {
+
+struct CSThrConfig {
+  std::uint64_t buffer_bytes = 4 * 1024 * 1024;  // paper: 4 MB per thread
+  /// Independent read-modify-writes issued per step; models the modest
+  /// out-of-order overlap of the paper's `buf[random]++` loop.
+  std::uint32_t batch_size = 4;
+};
+
+class CSThrAgent final : public sim::Agent {
+ public:
+  CSThrAgent(sim::MemorySystem& memory, CSThrConfig config,
+             std::string name = "CSThr");
+
+  void step(sim::AgentContext& ctx) override;
+  bool finished() const override { return false; }
+
+  /// Read-add-write operations completed (Fig. 8 reports time per op).
+  std::uint64_t operations() const { return operations_; }
+
+  const CSThrConfig& config() const { return config_; }
+
+ private:
+  CSThrConfig config_;
+  sim::Addr base_ = 0;
+  std::uint64_t num_elements_;  // 4-byte ints, as in the paper
+  std::vector<sim::Addr> batch_;
+  std::uint64_t operations_ = 0;
+};
+
+}  // namespace am::interfere

@@ -1,0 +1,9 @@
+#include "interfere/host_identity.hpp"
+
+namespace am::interfere {
+
+__attribute__((noinline, noipa)) std::int64_t host_identity(std::int64_t x) {
+  return x;
+}
+
+}  // namespace am::interfere

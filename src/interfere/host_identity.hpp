@@ -1,0 +1,13 @@
+#pragma once
+// The paper's anti-optimization device: the strided index computation is
+// routed through an identity function that lives in a separate translation
+// unit, so the compiler cannot see through it and simplify the access
+// pattern (Section II-A).
+#include <cstdint>
+
+namespace am::interfere {
+
+/// Returns x. Defined out-of-line in host_identity.cpp and never inlined.
+std::int64_t host_identity(std::int64_t x);
+
+}  // namespace am::interfere

@@ -1,0 +1,81 @@
+#include "interfere/host_interference.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "interfere/host_identity.hpp"
+
+namespace am::interfere {
+
+HostInterferenceThread::~HostInterferenceThread() { stop(); }
+
+void HostInterferenceThread::start(int cpu) {
+  if (thread_.joinable())
+    throw std::logic_error("interference thread already running");
+  stop_.store(false, std::memory_order_relaxed);
+  cpu_ = cpu;
+  thread_ = std::thread([this] {
+    if (cpu_ >= 0) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(cpu_, &set);
+      // Best effort: pinning may be disallowed in containers.
+      (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+    }
+    run();
+  });
+}
+
+void HostInterferenceThread::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+HostBWThr::HostBWThr(std::uint64_t buffer_bytes, std::uint32_t num_buffers) {
+  if (buffer_bytes < sizeof(long long) || num_buffers == 0)
+    throw std::invalid_argument("HostBWThr: degenerate geometry");
+  buffers_.resize(num_buffers);
+  for (auto& buf : buffers_)
+    buf.assign(buffer_bytes / sizeof(long long), 0);
+}
+
+std::uint64_t HostBWThr::footprint_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) total += buf.size() * sizeof(long long);
+  return total;
+}
+
+void HostBWThr::run() {
+  // Paper Fig. 2 with the published constants: a large prime stride whose
+  // index computation is opaque to the compiler.
+  constexpr std::int64_t kLargePrime = 2654435761;
+  const std::int64_t n = static_cast<std::int64_t>(buffers_[0].size());
+  for (std::int64_t i = 0; !stop_requested(); ++i) {
+    const std::int64_t idx = host_identity(kLargePrime * i) % n;
+    for (auto& buf : buffers_) ++buf[static_cast<std::size_t>(idx)];
+    iterations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+HostCSThr::HostCSThr(std::uint64_t buffer_bytes, std::uint64_t seed)
+    : seed_(seed) {
+  if (buffer_bytes < sizeof(int))
+    throw std::invalid_argument("HostCSThr: degenerate geometry");
+  buffer_.assign(buffer_bytes / sizeof(int), 0);
+}
+
+void HostCSThr::run() {
+  Rng rng(seed_);
+  const std::uint64_t n = buffer_.size();
+  // Check the stop flag every 1024 touches so the hot loop stays tight.
+  while (!stop_requested()) {
+    for (int k = 0; k < 1024; ++k)
+      ++buffer_[static_cast<std::size_t>(rng.bounded(n))];
+    iterations_.fetch_add(1024, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace am::interfere

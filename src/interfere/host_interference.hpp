@@ -1,0 +1,114 @@
+#pragma once
+// Host-native interference threads: the code paths a user runs on a *real*
+// Linux machine to actively measure an application, exactly following the
+// paper's Fig. 2 (BWThr) and Fig. 3 (CSThr) pseudo-code. Each thread can be
+// pinned to a core so that, as in the paper, interference is confined to
+// the shared levels of the hierarchy.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace am::interfere {
+
+/// Base: lifecycle + iteration accounting shared by both thread kinds.
+class HostInterferenceThread {
+ public:
+  virtual ~HostInterferenceThread();
+
+  HostInterferenceThread(const HostInterferenceThread&) = delete;
+  HostInterferenceThread& operator=(const HostInterferenceThread&) = delete;
+
+  /// Starts the worker. `cpu` >= 0 pins it via sched_setaffinity; -1 lets
+  /// the OS place it.
+  void start(int cpu = -1);
+
+  /// Signals the worker and joins it. Safe to call twice.
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+
+  /// Loop iterations completed so far (monotonic, relaxed reads).
+  std::uint64_t iterations() const {
+    return iterations_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  HostInterferenceThread() = default;
+
+  /// The interference loop body; implementations must poll stop_requested()
+  /// frequently and bump iterations_.
+  virtual void run() = 0;
+
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> iterations_{0};
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  int cpu_ = -1;
+};
+
+/// Paper Fig. 2: numBufs buffers of long long, each walked with a
+/// large-prime stride through an opaque identity call. One iteration =
+/// one increment in every buffer.
+class HostBWThr final : public HostInterferenceThread {
+ public:
+  explicit HostBWThr(std::uint64_t buffer_bytes = 520 * 1024,
+                     std::uint32_t num_buffers = 44);
+
+  std::uint64_t footprint_bytes() const;
+
+ private:
+  void run() override;
+
+  std::vector<std::vector<long long>> buffers_;
+};
+
+/// Paper Fig. 3: one int buffer touched at random positions forever.
+class HostCSThr final : public HostInterferenceThread {
+ public:
+  explicit HostCSThr(std::uint64_t buffer_bytes = 4 * 1024 * 1024,
+                     std::uint64_t seed = 0x2545F4914F6CDD1Dull);
+
+  std::uint64_t footprint_bytes() const { return buffer_.size() * sizeof(int); }
+
+ private:
+  void run() override;
+
+  std::vector<int> buffer_;
+  std::uint64_t seed_;
+};
+
+/// RAII convenience: a fleet of identical interference threads, started on
+/// construction and stopped on destruction. Used by the HostBackend sweep.
+template <typename Thread>
+class HostInterferenceFleet {
+ public:
+  /// Builds `count` threads with the given constructor arguments, pinning
+  /// them to cpus[i] when provided.
+  template <typename... Args>
+  HostInterferenceFleet(std::size_t count, const std::vector<int>& cpus,
+                        Args&&... args) {
+    threads_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      threads_.push_back(std::make_unique<Thread>(args...));
+      threads_.back()->start(i < cpus.size() ? cpus[i] : -1);
+    }
+  }
+  ~HostInterferenceFleet() {
+    for (auto& t : threads_) t->stop();
+  }
+
+  std::size_t size() const { return threads_.size(); }
+  Thread& at(std::size_t i) { return *threads_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Thread>> threads_;
+};
+
+}  // namespace am::interfere

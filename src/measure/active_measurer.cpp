@@ -1,0 +1,94 @@
+#include "measure/active_measurer.hpp"
+
+#include <stdexcept>
+
+namespace am::measure {
+
+model::SensitivityCurve SweepResult::curve() const {
+  std::vector<model::SensitivityPoint> pts;
+  pts.reserve(points.size());
+  for (const auto& p : points)
+    pts.push_back({p.resource_available, p.seconds});
+  return model::SensitivityCurve(std::move(pts));
+}
+
+double SweepResult::slowdown(std::uint32_t k) const {
+  if (points.empty()) throw std::logic_error("empty sweep");
+  return points.at(k).seconds / points.front().seconds;
+}
+
+ActiveMeasurer::ActiveMeasurer(SimBackend& backend,
+                               CapacityCalibration capacity,
+                               BandwidthCalibration bandwidth)
+    : backend_(&backend),
+      capacity_(std::move(capacity)),
+      bandwidth_(std::move(bandwidth)) {}
+
+SweepResult ActiveMeasurer::sweep(const SimBackend::WorkloadFactory& factory,
+                                  Resource resource,
+                                  std::uint32_t max_threads,
+                                  const interfere::CSThrConfig& cs,
+                                  const interfere::BWThrConfig& bw) {
+  const auto& avail_table = resource == Resource::kCacheStorage
+                                ? capacity_.available_bytes
+                                : std::vector<double>{};
+  if (resource == Resource::kCacheStorage &&
+      max_threads >= capacity_.available_bytes.size())
+    throw std::invalid_argument("sweep: capacity calibration too short");
+  if (resource == Resource::kBandwidth &&
+      max_threads >= bandwidth_.used_bytes_per_sec.size())
+    throw std::invalid_argument("sweep: bandwidth calibration too short");
+  (void)avail_table;
+
+  SweepResult out;
+  out.resource = resource;
+  for (std::uint32_t k = 0; k <= max_threads; ++k) {
+    InterferenceSpec spec = resource == Resource::kCacheStorage
+                                ? InterferenceSpec::storage(k, cs)
+                                : InterferenceSpec::bandwidth(k, bw);
+    const SimRunResult run = backend_->run(factory, spec);
+    SweepPoint pt;
+    pt.threads = k;
+    pt.seconds = run.seconds;
+    pt.resource_available = resource == Resource::kCacheStorage
+                                ? capacity_.available_bytes.at(k)
+                                : bandwidth_.available(k);
+    out.points.push_back(pt);
+  }
+  return out;
+}
+
+ResourceBounds ActiveMeasurer::bounds(const SweepResult& sweep,
+                                      std::uint32_t processes_per_socket,
+                                      double tolerance) {
+  if (sweep.points.empty())
+    throw std::invalid_argument("bounds: empty sweep");
+  if (processes_per_socket == 0)
+    throw std::invalid_argument("bounds: zero processes");
+  const double baseline = sweep.points.front().seconds;
+  const double limit = baseline * (1.0 + tolerance);
+
+  ResourceBounds out;
+  // The paper: among the non-degraded experiments pick the most interfered
+  // one (upper bound on availability the app fits in), and among degraded
+  // ones the least interfered (the app needs more than that availability).
+  double best_ok = sweep.points.front().resource_available;
+  bool any_degraded = false;
+  double first_degraded_avail = 0.0;
+  for (const auto& p : sweep.points) {
+    if (p.seconds <= limit) {
+      if (!any_degraded) best_ok = p.resource_available;
+    } else if (!any_degraded) {
+      any_degraded = true;
+      first_degraded_avail = p.resource_available;
+    }
+  }
+  const double denom = static_cast<double>(processes_per_socket);
+  out.degraded_at_any_level = any_degraded;
+  out.fits_at_all_levels = !any_degraded;
+  out.upper = best_ok / denom;
+  out.lower = any_degraded ? first_degraded_avail / denom : 0.0;
+  return out;
+}
+
+}  // namespace am::measure

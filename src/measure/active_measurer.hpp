@@ -1,0 +1,71 @@
+#pragma once
+// The Active Measurement methodology itself (paper Fig. 1): sweep the
+// interference level from zero upward, watch for the onset of performance
+// degradation, and convert the sweep into (a) a sensitivity curve usable
+// for prediction on less-capable memory systems and (b) bounds on the
+// amount of resource each application process actively uses (§IV).
+#include <cstdint>
+#include <vector>
+
+#include "measure/calibration.hpp"
+#include "measure/sim_backend.hpp"
+#include "model/predictor.hpp"
+
+namespace am::measure {
+
+struct SweepPoint {
+  std::uint32_t threads = 0;        // interference threads per socket
+  double seconds = 0.0;             // application runtime
+  double resource_available = 0.0;  // bytes or bytes/s left per socket
+};
+
+struct SweepResult {
+  Resource resource = Resource::kCacheStorage;
+  std::vector<SweepPoint> points;
+
+  /// Sensitivity curve over resource availability (for prediction).
+  model::SensitivityCurve curve() const;
+
+  /// Slowdown of point k relative to the uninterfered run.
+  double slowdown(std::uint32_t k) const;
+};
+
+/// Paper §IV resource-use bounds: the application's per-process use lies
+/// above what was available at the first degraded level and at or below
+/// what was available at the last non-degraded level.
+struct ResourceBounds {
+  double lower = 0.0;  // per process
+  double upper = 0.0;  // per process
+  bool degraded_at_any_level = false;
+  bool fits_at_all_levels = false;  // never degraded: only an upper bound
+};
+
+class ActiveMeasurer {
+ public:
+  /// The calibrations translate thread counts into resource availability.
+  ActiveMeasurer(SimBackend& backend, CapacityCalibration capacity,
+                 BandwidthCalibration bandwidth);
+
+  /// Runs the workload with 0..max_threads interference threads per socket.
+  SweepResult sweep(const SimBackend::WorkloadFactory& factory,
+                    Resource resource, std::uint32_t max_threads,
+                    const interfere::CSThrConfig& cs = {},
+                    const interfere::BWThrConfig& bw = {});
+
+  /// Derives per-process bounds from a sweep, given how many application
+  /// processes share each socket. `tolerance` is the degradation threshold
+  /// (the paper treats ~5% as the noise floor).
+  static ResourceBounds bounds(const SweepResult& sweep,
+                               std::uint32_t processes_per_socket,
+                               double tolerance = 0.05);
+
+  const CapacityCalibration& capacity() const { return capacity_; }
+  const BandwidthCalibration& bandwidth() const { return bandwidth_; }
+
+ private:
+  SimBackend* backend_;
+  CapacityCalibration capacity_;
+  BandwidthCalibration bandwidth_;
+};
+
+}  // namespace am::measure

@@ -1,0 +1,70 @@
+#include "measure/app_workloads.hpp"
+
+#include <memory>
+
+#include "minimpi/communicator.hpp"
+#include "minimpi/mapping.hpp"
+
+namespace am::measure {
+
+namespace {
+
+template <typename AgentT, typename ConfigT>
+SimBackend::WorkloadFactory make_mpi_workload(std::uint32_t ranks,
+                                              std::uint32_t per_socket,
+                                              ConfigT config) {
+  return [=](sim::Engine& engine) {
+    auto mapping = std::make_shared<minimpi::Mapping>(engine.config(), ranks,
+                                                      per_socket);
+    auto comm = std::make_shared<minimpi::Communicator>(engine, *mapping);
+    engine.own(mapping);
+    engine.own(comm);
+    WorkloadInfo info;
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      const auto idx = engine.add_agent(
+          std::make_unique<AgentT>(engine, *comm, *mapping, r, config),
+          mapping->placement(r).core, /*primary=*/true);
+      info.primary_agents.push_back(idx);
+    }
+    for (const auto socket : mapping->used_sockets())
+      info.interference_cores.push_back(mapping->free_cores(socket));
+    return info;
+  };
+}
+
+}  // namespace
+
+SimBackend::WorkloadFactory make_mcb_workload(std::uint32_t ranks,
+                                              std::uint32_t per_socket,
+                                              apps::McbConfig config) {
+  return make_mpi_workload<apps::McbProxyAgent>(ranks, per_socket, config);
+}
+
+SimBackend::WorkloadFactory make_lulesh_workload(std::uint32_t ranks,
+                                                 std::uint32_t per_socket,
+                                                 apps::LuleshConfig config) {
+  return make_mpi_workload<apps::LuleshProxyAgent>(ranks, per_socket, config);
+}
+
+SimBackend::WorkloadFactory make_synthetic_workload(
+    apps::SyntheticConfig config) {
+  return [config](sim::Engine& engine) {
+    WorkloadInfo info;
+    auto agent = std::make_unique<apps::SyntheticBenchmarkAgent>(
+        engine.memory(), config);
+    const auto* raw = agent.get();
+    info.measure_start = [raw](const sim::Engine&) {
+      return raw->measure_start_cycle();
+    };
+    info.primary_agents.push_back(engine.add_agent(
+        std::move(agent),
+        /*core=*/0, /*primary=*/true));
+    std::vector<sim::CoreId> free;
+    for (sim::CoreId c = 1; c < engine.config().cores_per_socket; ++c)
+      free.push_back(c);
+    info.interference_cores.push_back(std::move(free));
+    return info;
+  };
+}
+
+}  // namespace am::measure

@@ -1,0 +1,106 @@
+#include "measure/calibration.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "apps/stream_probe.hpp"
+#include "apps/synthetic_benchmark.hpp"
+#include "common/stats.hpp"
+#include "model/ehr_model.hpp"
+#include "sim/engine.hpp"
+
+namespace am::measure {
+
+namespace {
+
+/// Timer primary used when only interference threads should run.
+class TimerAgent final : public sim::Agent {
+ public:
+  explicit TimerAgent(sim::Cycles duration)
+      : sim::Agent("timer"), left_(duration) {}
+  void step(sim::AgentContext& ctx) override {
+    const sim::Cycles chunk = std::min<sim::Cycles>(left_, 10'000);
+    ctx.compute(chunk);
+    left_ -= chunk;
+  }
+  bool finished() const override { return left_ == 0; }
+
+ private:
+  sim::Cycles left_;
+};
+
+}  // namespace
+
+CapacityCalibration calibrate_capacity(const sim::MachineConfig& machine,
+                                       const interfere::CSThrConfig& cs,
+                                       const CalibrationOptions& opts) {
+  CapacityCalibration out;
+  for (std::uint32_t k = 0; k <= opts.max_threads; ++k) {
+    RunningStats estimate;
+    for (const double ratio : opts.buffer_to_l3_ratios) {
+      const auto elements = static_cast<std::uint64_t>(
+          ratio * static_cast<double>(machine.l3.size_bytes) / 4);
+      for (const std::size_t dist_idx : opts.probe_distributions) {
+        const auto dist =
+            model::AccessDistribution::table2(elements).at(dist_idx);
+        sim::Engine engine(machine, opts.seed);
+        apps::SyntheticConfig cfg{dist, 4, /*compute_ops=*/1,
+                                  /*warmup=*/elements * 2,
+                                  opts.accesses_per_probe};
+        auto bench = std::make_unique<apps::SyntheticBenchmarkAgent>(
+            engine.memory(), cfg);
+        const auto bench_idx = engine.add_agent(std::move(bench), 0);
+        for (std::uint32_t i = 0; i < k; ++i)
+          engine.add_agent(std::make_unique<interfere::CSThrAgent>(
+                               engine.memory(), cs),
+                           1 + i, /*primary=*/false);
+        engine.run();
+        const double miss = engine.agent_counters(bench_idx).l3_miss_rate();
+        const model::EhrModel ehr(dist, 4);
+        estimate.add(ehr.invert_capacity(miss));
+      }
+    }
+    out.available_bytes.push_back(estimate.mean());
+    out.stddev_bytes.push_back(estimate.stddev());
+  }
+  return out;
+}
+
+BandwidthCalibration calibrate_bandwidth(const sim::MachineConfig& machine,
+                                         const interfere::BWThrConfig& bw,
+                                         std::uint32_t max_threads,
+                                         std::uint64_t seed) {
+  if (max_threads + 1 > machine.cores_per_socket)
+    throw std::invalid_argument("calibrate_bandwidth: too many threads");
+  BandwidthCalibration out;
+  {
+    // Peak: STREAM-style probe alone on the socket.
+    sim::Engine engine(machine, seed);
+    apps::StreamProbeConfig cfg;
+    cfg.array_bytes = machine.l3.size_bytes * 2;
+    auto probe =
+        std::make_unique<apps::StreamProbeAgent>(engine.memory(), cfg);
+    engine.add_agent(std::move(probe), 0);
+    const sim::Cycles end = engine.run();
+    out.peak_bytes_per_sec =
+        static_cast<double>(engine.memory().mem_channel(0).total_bytes()) /
+        machine.cycles_to_seconds(end);
+  }
+  const sim::Cycles window = 20'000'000;
+  for (std::uint32_t k = 0; k <= max_threads; ++k) {
+    sim::Engine engine(machine, seed);
+    engine.add_agent(std::make_unique<TimerAgent>(window), 0);
+    for (std::uint32_t i = 0; i < k; ++i)
+      engine.add_agent(
+          std::make_unique<interfere::BWThrAgent>(engine.memory(), bw),
+          1 + i, /*primary=*/false);
+    const sim::Cycles end = engine.run();
+    const double used =
+        static_cast<double>(engine.memory().mem_channel(0).total_bytes()) /
+        machine.cycles_to_seconds(end);
+    out.used_bytes_per_sec.push_back(used);
+  }
+  return out;
+}
+
+}  // namespace am::measure

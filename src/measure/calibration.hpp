@@ -1,0 +1,60 @@
+#pragma once
+// Calibration of the interference threads, i.e. the paper's Section III:
+// how much cache capacity do k CSThrs effectively deny (via the inverted
+// EHR model over synthetic benchmarks, §III-C3), and how much bandwidth do
+// k BWThrs consume (via miss counters, §III-A). The resulting tables map
+// "k interference threads" to "resource left for the application", which
+// is what turns a degradation sweep into resource-use bounds.
+#include <cstdint>
+#include <vector>
+
+#include "interfere/bwthr_agent.hpp"
+#include "interfere/csthr_agent.hpp"
+#include "sim/machine.hpp"
+
+namespace am::measure {
+
+struct CapacityCalibration {
+  /// available_bytes[k]: effective cache capacity with k CSThrs running.
+  std::vector<double> available_bytes;
+  /// Dispersion of the estimate across probe distributions.
+  std::vector<double> stddev_bytes;
+};
+
+struct BandwidthCalibration {
+  /// Peak socket bandwidth (STREAM-style probe), bytes/s.
+  double peak_bytes_per_sec = 0.0;
+  /// used_bytes_per_sec[k]: bandwidth consumed by k BWThrs alone.
+  std::vector<double> used_bytes_per_sec;
+  /// available[k] = peak - used[k].
+  double available(std::uint32_t k) const {
+    return peak_bytes_per_sec - used_bytes_per_sec.at(k);
+  }
+};
+
+struct CalibrationOptions {
+  std::uint32_t max_threads = 5;
+  /// Probe-benchmark buffer sizes as multiples of the L3 capacity
+  /// (the paper uses 1.5x..3.7x).
+  std::vector<double> buffer_to_l3_ratios{2.0, 3.0};
+  /// Indices into AccessDistribution::table2 used as probes. Defaults to
+  /// Exp_6 and Uni: one concentrated, one flat.
+  std::vector<std::size_t> probe_distributions{4, 9};
+  std::uint64_t accesses_per_probe = 400'000;
+  std::uint64_t seed = 1;
+};
+
+/// Fig. 6 procedure: run probe benchmarks against k CSThrs, measure L3
+/// miss rates, invert Eq. 4 into effective capacity, average over probes.
+CapacityCalibration calibrate_capacity(const sim::MachineConfig& machine,
+                                       const interfere::CSThrConfig& cs,
+                                       const CalibrationOptions& opts = {});
+
+/// §III-A procedure: measure the bandwidth k BWThrs draw on an otherwise
+/// idle socket, and the STREAM-style peak.
+BandwidthCalibration calibrate_bandwidth(const sim::MachineConfig& machine,
+                                         const interfere::BWThrConfig& bw,
+                                         std::uint32_t max_threads,
+                                         std::uint64_t seed = 1);
+
+}  // namespace am::measure

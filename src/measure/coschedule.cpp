@@ -1,0 +1,80 @@
+#include "measure/coschedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace am::measure {
+
+AppProfile AppProfile::from_sweeps(std::string name,
+                                   const SweepResult& capacity,
+                                   const SweepResult& bandwidth,
+                                   std::uint32_t processes_per_socket,
+                                   double tolerance) {
+  if (capacity.resource != Resource::kCacheStorage ||
+      bandwidth.resource != Resource::kBandwidth)
+    throw std::invalid_argument("from_sweeps: sweeps of the wrong resources");
+  AppProfile p;
+  p.name = std::move(name);
+  p.capacity =
+      ActiveMeasurer::bounds(capacity, processes_per_socket, tolerance);
+  p.bandwidth =
+      ActiveMeasurer::bounds(bandwidth, processes_per_socket, tolerance);
+  p.capacity_curve = capacity.curve();
+  p.bandwidth_curve = bandwidth.curve();
+  return p;
+}
+
+CoScheduleAdvisor::CoScheduleAdvisor(double socket_capacity,
+                                     double socket_bandwidth)
+    : socket_capacity_(socket_capacity), socket_bandwidth_(socket_bandwidth) {
+  if (socket_capacity <= 0.0 || socket_bandwidth <= 0.0)
+    throw std::invalid_argument("CoScheduleAdvisor: non-positive resources");
+}
+
+namespace {
+
+/// Splits a resource between two demands; proportional under pressure.
+void split(double total, double use_a, double use_b, double& got_a,
+           double& got_b, bool& oversubscribed) {
+  // Unmeasured (never-degraded) use registers as its upper bound; zero
+  // upper bounds get a nominal sliver so the split stays defined.
+  use_a = std::max(use_a, total * 0.01);
+  use_b = std::max(use_b, total * 0.01);
+  const double demand = use_a + use_b;
+  oversubscribed = demand > total;
+  if (!oversubscribed) {
+    // Each side keeps what it needs; spare capacity is split evenly (it
+    // does not change predictions, which clamp at the curves' ends).
+    got_a = use_a + (total - demand) / 2.0;
+    got_b = use_b + (total - demand) / 2.0;
+  } else {
+    got_a = total * use_a / demand;
+    got_b = total * use_b / demand;
+  }
+}
+
+double price(const std::optional<model::SensitivityCurve>& curve,
+             double available) {
+  return curve ? curve->predict_slowdown(available) : 1.0;
+}
+
+}  // namespace
+
+CoScheduleVerdict CoScheduleAdvisor::advise(const AppProfile& a,
+                                            const AppProfile& b) const {
+  CoScheduleVerdict v;
+  split(socket_capacity_, a.capacity.upper, b.capacity.upper, v.capacity_a,
+        v.capacity_b, v.capacity_oversubscribed);
+  split(socket_bandwidth_, a.bandwidth.upper, b.bandwidth.upper,
+        v.bandwidth_a, v.bandwidth_b, v.bandwidth_oversubscribed);
+  // An application pays the worse of its two shortfalls: capacity misses
+  // and bandwidth queueing compound, but the measured curves already fold
+  // second-order effects in, so the max is the robust combination.
+  v.slowdown_a = std::max(price(a.capacity_curve, v.capacity_a),
+                          price(a.bandwidth_curve, v.bandwidth_a));
+  v.slowdown_b = std::max(price(b.capacity_curve, v.capacity_b),
+                          price(b.bandwidth_curve, v.bandwidth_b));
+  return v;
+}
+
+}  // namespace am::measure

@@ -1,0 +1,72 @@
+#pragma once
+// Co-scheduling advisor — the paper's motivating application of Active
+// Measurement ("enabling more intelligent work scheduling"): once two
+// applications' resource profiles are known, predict the cost of placing
+// them on the same socket *without ever co-running them*, by combining
+// each one's measured sensitivity curve with the other's measured use.
+#include <optional>
+#include <string>
+
+#include "measure/active_measurer.hpp"
+
+namespace am::measure {
+
+/// A measured application profile: what it uses, and how it degrades.
+struct AppProfile {
+  std::string name;
+  /// Per-process shared-cache use bounds (bytes), from §IV.
+  ResourceBounds capacity;
+  /// Per-process memory-bandwidth use bounds (bytes/s), from §IV.
+  ResourceBounds bandwidth;
+  /// Runtime vs available capacity (bytes).
+  std::optional<model::SensitivityCurve> capacity_curve;
+  /// Runtime vs available bandwidth (bytes/s).
+  std::optional<model::SensitivityCurve> bandwidth_curve;
+
+  /// Builds a profile from two interference sweeps.
+  static AppProfile from_sweeps(std::string name, const SweepResult& capacity,
+                                const SweepResult& bandwidth,
+                                std::uint32_t processes_per_socket,
+                                double tolerance = 0.05);
+};
+
+/// Verdict for co-locating two applications on one socket.
+struct CoScheduleVerdict {
+  /// Predicted slowdown of each application (>= 1).
+  double slowdown_a = 1.0;
+  double slowdown_b = 1.0;
+  /// Capacity/bandwidth each application is expected to retain.
+  double capacity_a = 0.0, capacity_b = 0.0;
+  double bandwidth_a = 0.0, bandwidth_b = 0.0;
+  bool capacity_oversubscribed = false;
+  bool bandwidth_oversubscribed = false;
+
+  double worst_slowdown() const {
+    return slowdown_a > slowdown_b ? slowdown_a : slowdown_b;
+  }
+  /// "Safe" = neither app is predicted to degrade beyond `tolerance`.
+  bool safe(double tolerance = 0.05) const {
+    return worst_slowdown() <= 1.0 + tolerance;
+  }
+};
+
+class CoScheduleAdvisor {
+ public:
+  /// socket_capacity: shared-cache bytes; socket_bandwidth: bytes/s.
+  CoScheduleAdvisor(double socket_capacity, double socket_bandwidth);
+
+  /// Predicts the outcome of co-locating `a` and `b`. Resources are split
+  /// proportionally to each application's measured upper-bound use; when
+  /// the combined demand exceeds the socket, each side receives its
+  /// proportional share and the sensitivity curves price the shortfall.
+  CoScheduleVerdict advise(const AppProfile& a, const AppProfile& b) const;
+
+  double socket_capacity() const { return socket_capacity_; }
+  double socket_bandwidth() const { return socket_bandwidth_; }
+
+ private:
+  double socket_capacity_;
+  double socket_bandwidth_;
+};
+
+}  // namespace am::measure

@@ -1,0 +1,49 @@
+#include "measure/host_backend.hpp"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+namespace am::measure {
+
+HostRunResult HostBackend::run(const std::function<void()>& workload,
+                               const HostRunOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+
+  std::vector<std::unique_ptr<interfere::HostInterferenceThread>> threads;
+  threads.reserve(opts.count);
+  for (std::uint32_t i = 0; i < opts.count; ++i) {
+    if (opts.resource == Resource::kCacheStorage)
+      threads.push_back(std::make_unique<interfere::HostCSThr>(
+          opts.cs_buffer_bytes, /*seed=*/0x9E3779B97F4A7C15ull + i));
+    else
+      threads.push_back(std::make_unique<interfere::HostBWThr>(
+          opts.bw_buffer_bytes, opts.bw_num_buffers));
+    threads.back()->start(i < opts.cpus.size() ? opts.cpus[i] : -1);
+  }
+  if (opts.count > 0 && opts.settle_seconds > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opts.settle_seconds));
+
+  HostRunResult out;
+  std::optional<PerfCounterSet> perf;
+  if (opts.use_perf_counters) {
+    perf.emplace();
+    if (!perf->available()) perf.reset();
+  }
+
+  if (perf) perf->start();
+  const auto t0 = Clock::now();
+  workload();
+  const auto t1 = Clock::now();
+  if (perf) out.counters = perf->stop();
+
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (auto& t : threads) {
+    t->stop();
+    out.interference_iterations += t->iterations();
+  }
+  return out;
+}
+
+}  // namespace am::measure

@@ -1,0 +1,45 @@
+#pragma once
+// Host execution backend: runs a real workload function under real
+// interference threads with wall-clock timing and (when permitted)
+// hardware counters. This is the deployment path of the library on an
+// actual shared-cache machine; the simulator backend mirrors its sweep
+// semantics for reproducible experiments.
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "interfere/host_interference.hpp"
+#include "measure/interference_spec.hpp"
+#include "measure/perf_counters.hpp"
+
+namespace am::measure {
+
+struct HostRunResult {
+  double seconds = 0.0;
+  std::optional<PerfValues> counters;  // nullopt when perf is unavailable
+  std::uint64_t interference_iterations = 0;
+};
+
+struct HostRunOptions {
+  Resource resource = Resource::kCacheStorage;
+  std::uint32_t count = 0;
+  std::uint64_t cs_buffer_bytes = 4ull * 1024 * 1024;
+  std::uint64_t bw_buffer_bytes = 520ull * 1024;
+  std::uint32_t bw_num_buffers = 44;
+  /// CPUs to pin interference threads to; empty = unpinned.
+  std::vector<int> cpus;
+  /// Delay before timing starts, letting interference reach steady state.
+  double settle_seconds = 0.05;
+  bool use_perf_counters = true;
+};
+
+class HostBackend {
+ public:
+  /// Starts `opts.count` interference threads, waits for them to settle,
+  /// times `workload()`, stops the threads.
+  HostRunResult run(const std::function<void()>& workload,
+                    const HostRunOptions& opts);
+};
+
+}  // namespace am::measure

@@ -1,0 +1,43 @@
+#include "measure/host_measurer.hpp"
+
+#include "common/stats.hpp"
+
+namespace am::measure {
+
+int HostSweepResult::degradation_onset(double tolerance) const {
+  if (points.empty()) return -1;
+  const double limit = points.front().seconds_mean * (1.0 + tolerance);
+  for (const auto& p : points)
+    if (p.seconds_mean > limit) return static_cast<int>(p.threads);
+  return -1;
+}
+
+HostSweepResult HostMeasurer::sweep(const std::function<void()>& workload,
+                                    const HostSweepOptions& options) {
+  HostSweepResult result;
+  result.resource = options.resource;
+  for (std::uint32_t k = 0; k <= options.max_threads; ++k) {
+    HostRunOptions run_opts;
+    run_opts.resource = options.resource;
+    run_opts.count = k;
+    run_opts.cs_buffer_bytes = options.cs_buffer_bytes;
+    run_opts.bw_buffer_bytes = options.bw_buffer_bytes;
+    run_opts.cpus = options.cpus;
+
+    RunningStats times;
+    HostSweepPoint point;
+    point.threads = k;
+    for (std::uint32_t rep = 0;
+         rep < std::max<std::uint32_t>(1, options.repetitions); ++rep) {
+      const auto run = backend_.run(workload, run_opts);
+      times.add(run.seconds);
+      point.counters = run.counters;
+    }
+    point.seconds_mean = times.mean();
+    point.seconds_stddev = times.stddev();
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace am::measure

@@ -1,0 +1,50 @@
+#pragma once
+// Host-side Active Measurement: the Fig. 1 sweep driven by real
+// interference threads and wall-clock timing on the current machine. This
+// is what a user runs on an actual shared-cache node; the SimBackend
+// variant mirrors it for reproducible experiments.
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "measure/host_backend.hpp"
+
+namespace am::measure {
+
+struct HostSweepPoint {
+  std::uint32_t threads = 0;
+  double seconds_mean = 0.0;
+  double seconds_stddev = 0.0;
+  std::optional<PerfValues> counters;  // from the last repetition
+};
+
+struct HostSweepOptions {
+  Resource resource = Resource::kCacheStorage;
+  std::uint32_t max_threads = 5;
+  /// Wall-clock runs are noisy: repeat and report mean +- stddev.
+  std::uint32_t repetitions = 3;
+  std::uint64_t cs_buffer_bytes = 4ull * 1024 * 1024;
+  std::uint64_t bw_buffer_bytes = 520ull * 1024;
+  std::vector<int> cpus;  // pinning for the interference threads
+};
+
+struct HostSweepResult {
+  Resource resource = Resource::kCacheStorage;
+  std::vector<HostSweepPoint> points;
+
+  /// Smallest thread count whose mean time exceeds baseline*(1+tol), or
+  /// -1 when the workload never degrades (insensitive / fits).
+  int degradation_onset(double tolerance = 0.05) const;
+};
+
+class HostMeasurer {
+ public:
+  /// Runs `workload` under 0..max_threads interference threads.
+  HostSweepResult sweep(const std::function<void()>& workload,
+                        const HostSweepOptions& options);
+
+ private:
+  HostBackend backend_;
+};
+
+}  // namespace am::measure

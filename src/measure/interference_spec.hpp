@@ -1,0 +1,50 @@
+#pragma once
+// Which resource to interfere with, and with how many threads.
+#include <cstdint>
+
+#include "interfere/bwthr_agent.hpp"
+#include "interfere/csthr_agent.hpp"
+
+namespace am::measure {
+
+enum class Resource : std::uint8_t { kCacheStorage, kBandwidth };
+
+inline const char* resource_name(Resource r) {
+  return r == Resource::kCacheStorage ? "cache-storage" : "bandwidth";
+}
+
+struct InterferenceSpec {
+  Resource resource = Resource::kCacheStorage;
+  /// Interference threads started *per socket* that hosts application
+  /// ranks (the paper places them on each processor's free cores).
+  std::uint32_t count = 0;
+  interfere::CSThrConfig cs;
+  interfere::BWThrConfig bw;
+  /// Simulated cycles the interference threads run *before* the
+  /// application starts. On real hardware the threads reach steady-state
+  /// cache residency long before the (seconds-long) measurement; scaled
+  /// simulations must grant them the same head start explicitly.
+  std::uint64_t warmup_cycles = 1'000'000;
+
+  static InterferenceSpec none() { return InterferenceSpec{}; }
+
+  static InterferenceSpec storage(std::uint32_t count,
+                                  interfere::CSThrConfig cfg = {}) {
+    InterferenceSpec s;
+    s.resource = Resource::kCacheStorage;
+    s.count = count;
+    s.cs = cfg;
+    return s;
+  }
+
+  static InterferenceSpec bandwidth(std::uint32_t count,
+                                    interfere::BWThrConfig cfg = {}) {
+    InterferenceSpec s;
+    s.resource = Resource::kBandwidth;
+    s.count = count;
+    s.bw = cfg;
+    return s;
+  }
+};
+
+}  // namespace am::measure

@@ -1,0 +1,101 @@
+#include "measure/perf_counters.hpp"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace am::measure {
+
+namespace {
+
+int perf_open(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0));
+}
+
+}  // namespace
+
+PerfCounterSet::PerfCounterSet() {
+  struct Want {
+    std::uint64_t config;
+    int kind;
+  };
+  const Want wants[] = {
+      {PERF_COUNT_HW_CPU_CYCLES, 0},
+      {PERF_COUNT_HW_INSTRUCTIONS, 1},
+      {PERF_COUNT_HW_CACHE_REFERENCES, 2},
+      {PERF_COUNT_HW_CACHE_MISSES, 3},
+  };
+  for (const auto& w : wants) {
+    const int fd = perf_open(PERF_TYPE_HARDWARE, w.config);
+    if (fd >= 0) {
+      fds_.push_back(fd);
+      kinds_.push_back(w.kind);
+    } else if (fds_.empty() && reason_.empty()) {
+      reason_ = std::string("perf_event_open: ") + std::strerror(errno);
+    }
+  }
+  if (fds_.empty() && reason_.empty()) reason_ = "no counters opened";
+}
+
+PerfCounterSet::~PerfCounterSet() { close_all(); }
+
+PerfCounterSet::PerfCounterSet(PerfCounterSet&& other) noexcept
+    : fds_(std::move(other.fds_)),
+      kinds_(std::move(other.kinds_)),
+      reason_(std::move(other.reason_)) {
+  other.fds_.clear();
+}
+
+PerfCounterSet& PerfCounterSet::operator=(PerfCounterSet&& other) noexcept {
+  if (this != &other) {
+    close_all();
+    fds_ = std::move(other.fds_);
+    kinds_ = std::move(other.kinds_);
+    reason_ = std::move(other.reason_);
+    other.fds_.clear();
+  }
+  return *this;
+}
+
+void PerfCounterSet::close_all() {
+  for (const int fd : fds_) close(fd);
+  fds_.clear();
+}
+
+void PerfCounterSet::start() {
+  for (const int fd : fds_) {
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfValues PerfCounterSet::stop() {
+  PerfValues out;
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    ioctl(fds_[i], PERF_EVENT_IOC_DISABLE, 0);
+    std::uint64_t value = 0;
+    if (read(fds_[i], &value, sizeof(value)) != sizeof(value)) continue;
+    switch (kinds_[i]) {
+      case 0: out.cycles = value; break;
+      case 1: out.instructions = value; break;
+      case 2: out.cache_references = value; break;
+      case 3: out.cache_misses = value; break;
+      default: break;
+    }
+  }
+  return out;
+}
+
+}  // namespace am::measure

@@ -1,0 +1,55 @@
+#pragma once
+// Thin perf_event_open wrapper: the host-side analogue of the hardware
+// counters the paper reads (L3 misses/references, cycles). Containers and
+// locked-down kernels frequently forbid perf; everything degrades to
+// available() == false rather than failing.
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace am::measure {
+
+struct PerfValues {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+
+  double cache_miss_rate() const {
+    return cache_references
+               ? static_cast<double>(cache_misses) /
+                     static_cast<double>(cache_references)
+               : 0.0;
+  }
+};
+
+/// A group of per-process hardware counters. Move-only (owns fds).
+class PerfCounterSet {
+ public:
+  PerfCounterSet();
+  ~PerfCounterSet();
+
+  PerfCounterSet(PerfCounterSet&& other) noexcept;
+  PerfCounterSet& operator=(PerfCounterSet&& other) noexcept;
+  PerfCounterSet(const PerfCounterSet&) = delete;
+  PerfCounterSet& operator=(const PerfCounterSet&) = delete;
+
+  /// True when at least the cycle counter opened successfully.
+  bool available() const { return !fds_.empty(); }
+
+  /// Why the counters are unavailable (empty when available).
+  const std::string& unavailable_reason() const { return reason_; }
+
+  void start();                 // reset + enable
+  PerfValues stop();            // disable + read
+
+ private:
+  void close_all();
+
+  std::vector<int> fds_;        // cycles, instructions, refs, misses order
+  std::vector<int> kinds_;      // index into PerfValues fields
+  std::string reason_;
+};
+
+}  // namespace am::measure

@@ -1,0 +1,73 @@
+#include "measure/sim_backend.hpp"
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+namespace am::measure {
+
+SimBackend::SimBackend(sim::MachineConfig machine, std::uint64_t seed)
+    : machine_(std::move(machine)), seed_(seed) {
+  machine_.validate();
+}
+
+SimRunResult SimBackend::run(const WorkloadFactory& factory,
+                             const InterferenceSpec& spec,
+                             sim::Cycles max_cycles) {
+  sim::Engine engine(machine_, seed_);
+  const WorkloadInfo info = factory(engine);
+  if (info.primary_agents.empty())
+    throw std::invalid_argument("SimBackend: workload created no primaries");
+
+  std::uint64_t started = 0;
+  for (const auto& group : info.interference_cores) {
+    if (spec.count > group.size())
+      throw std::invalid_argument(
+          "SimBackend: not enough free cores for interference");
+    for (std::uint32_t i = 0; i < spec.count; ++i) {
+      if (spec.resource == Resource::kCacheStorage)
+        engine.add_agent(std::make_unique<interfere::CSThrAgent>(
+                             engine.memory(), spec.cs),
+                         group[i], /*primary=*/false);
+      else
+        engine.add_agent(std::make_unique<interfere::BWThrAgent>(
+                             engine.memory(), spec.bw),
+                         group[i], /*primary=*/false);
+      ++started;
+    }
+  }
+
+  // Give the interference threads their head start; measurement covers
+  // only the application's own execution window.
+  const sim::Cycles warmup = started > 0 ? spec.warmup_cycles : 0;
+  if (warmup > 0)
+    for (const auto idx : info.primary_agents) engine.delay_agent(idx, warmup);
+
+  const sim::Cycles end = engine.run(max_cycles);
+
+  SimRunResult result;
+  const sim::Cycles start =
+      info.measure_start ? info.measure_start(engine) : warmup;
+  result.cycles = end > start ? end - start : 0;
+  result.seconds = machine_.cycles_to_seconds(result.cycles);
+  result.timed_out = end == max_cycles;
+  std::set<std::uint32_t> used_sockets;
+  for (const auto idx : info.primary_agents) {
+    result.app += engine.agent_counters(idx);
+    used_sockets.insert(machine_.socket_of(engine.agent_core(idx)));
+  }
+  result.app_l3_miss_rate = result.app.l3_miss_rate();
+  if (result.seconds > 0.0) {
+    result.app_mem_bandwidth =
+        static_cast<double>(result.app.bytes_from_mem) / result.seconds;
+    std::uint64_t socket_bytes = 0;
+    for (const auto s : used_sockets)
+      socket_bytes += engine.memory().mem_channel(s).total_bytes();
+    result.total_mem_bandwidth =
+        static_cast<double>(socket_bytes) / result.seconds;
+  }
+  result.interference_threads = started;
+  return result;
+}
+
+}  // namespace am::measure

@@ -1,0 +1,57 @@
+#pragma once
+// Runs one "experiment" on the simulator: a workload (one or many primary
+// agents) plus an interference specification, returning the timing and
+// counter data the Active Measurement methodology consumes.
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "measure/interference_spec.hpp"
+#include "sim/engine.hpp"
+
+namespace am::measure {
+
+/// What a workload factory must hand back after populating the engine.
+struct WorkloadInfo {
+  /// Indices of the primary (application) agents in the engine.
+  std::vector<std::size_t> primary_agents;
+  /// Core groups available for interference threads — typically the free
+  /// cores of each socket that hosts application ranks.
+  std::vector<std::vector<sim::CoreId>> interference_cores;
+  /// Optional: cycle at which measurement starts (e.g. after a cache
+  /// warm-up phase); reported seconds cover [start, finish]. Evaluated
+  /// after the run completes. Null = measure from cycle 0.
+  std::function<sim::Cycles(const sim::Engine&)> measure_start;
+};
+
+struct SimRunResult {
+  double seconds = 0.0;          // start → last primary finished
+  sim::Cycles cycles = 0;
+  sim::Counters app;             // aggregated over application cores
+  double app_l3_miss_rate = 0.0;
+  double app_mem_bandwidth = 0.0;       // bytes/s drawn by app cores
+  double total_mem_bandwidth = 0.0;     // bytes/s over all used sockets
+  std::uint64_t interference_threads = 0;
+  bool timed_out = false;
+};
+
+class SimBackend {
+ public:
+  using WorkloadFactory = std::function<WorkloadInfo(sim::Engine&)>;
+
+  explicit SimBackend(sim::MachineConfig machine, std::uint64_t seed = 1);
+
+  /// Builds a fresh engine, instantiates the workload and `spec.count`
+  /// interference threads per interference core group, runs to completion.
+  SimRunResult run(const WorkloadFactory& factory,
+                   const InterferenceSpec& spec,
+                   sim::Cycles max_cycles = UINT64_MAX / 4);
+
+  const sim::MachineConfig& machine() const { return machine_; }
+
+ private:
+  sim::MachineConfig machine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace am::measure

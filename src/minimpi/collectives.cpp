@@ -1,0 +1,54 @@
+#include "minimpi/collectives.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace am::minimpi {
+
+Collectives::Collectives(Communicator& comm, const Mapping& mapping)
+    : comm_(&comm), num_ranks_(mapping.num_ranks()), state_(num_ranks_) {
+  if (num_ranks_ < 2)
+    throw std::invalid_argument("Collectives need >= 2 ranks");
+}
+
+bool Collectives::try_allreduce(sim::AgentContext& ctx, std::uint32_t rank,
+                                std::uint64_t bytes) {
+  RankState& st = state_.at(rank);
+  const std::uint32_t right = (rank + 1) % num_ranks_;
+  const std::uint32_t left = (rank + num_ranks_ - 1) % num_ranks_;
+
+  switch (st.phase) {
+    case RankState::Phase::kIdle:
+      st.rounds_total = 2 * (num_ranks_ - 1);
+      st.round = 0;
+      st.chunk_bytes = std::max<std::uint64_t>(64, bytes / num_ranks_);
+      st.phase = RankState::Phase::kSend;
+      [[fallthrough]];
+    case RankState::Phase::kSend:
+      comm_->send(ctx, rank, right, st.chunk_bytes);
+      st.phase = RankState::Phase::kRecv;
+      return false;
+    case RankState::Phase::kRecv:
+      if (!comm_->try_recv(ctx, left, rank)) {
+        ctx.compute(30);  // poll delay
+        return false;
+      }
+      // Reduction arithmetic on the received chunk.
+      ctx.compute(st.chunk_bytes / 8);
+      ++st.round;
+      if (st.round >= st.rounds_total) {
+        st.phase = RankState::Phase::kIdle;
+        ++st.completed;
+        return true;
+      }
+      st.phase = RankState::Phase::kSend;
+      return false;
+  }
+  return false;
+}
+
+bool Collectives::try_barrier(sim::AgentContext& ctx, std::uint32_t rank) {
+  return try_allreduce(ctx, rank, 64);
+}
+
+}  // namespace am::minimpi

@@ -1,0 +1,81 @@
+#include "minimpi/communicator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace am::minimpi {
+
+Communicator::Communicator(sim::Engine& engine, const Mapping& mapping)
+    : engine_(&engine), mapping_(&mapping) {}
+
+Communicator::Channel& Communicator::channel(std::uint32_t src,
+                                             std::uint32_t dst) {
+  return channels_[{src, dst}];
+}
+
+void Communicator::touch_buffer(sim::AgentContext& ctx, sim::Addr base,
+                                std::uint64_t bytes, bool store) {
+  const auto line = engine_->config().l3.line_bytes;
+  const std::uint64_t lines = (bytes + line - 1) / line;
+  // Copy loops are unit-stride: issue line-granular accesses in batches so
+  // they enjoy the same memory-level parallelism a real memcpy has.
+  constexpr std::size_t kChunk = 16;
+  batch_.clear();
+  for (std::uint64_t l = 0; l < lines; ++l) {
+    batch_.push_back(base + l * line);
+    if (batch_.size() == kChunk) {
+      if (store)
+        ctx.store_batch(batch_);
+      else
+        ctx.load_batch(batch_);
+      batch_.clear();
+    }
+  }
+  if (!batch_.empty()) {
+    if (store)
+      ctx.store_batch(batch_);
+    else
+      ctx.load_batch(batch_);
+  }
+}
+
+void Communicator::send(sim::AgentContext& ctx, std::uint32_t src,
+                        std::uint32_t dst, std::uint64_t bytes) {
+  if (bytes == 0) throw std::invalid_argument("send: empty message");
+  Channel& ch = channel(src, dst);
+  if (ch.buffer_bytes < bytes) {
+    // (Re)allocate the pair's buffer; simulated memory is plentiful.
+    ch.buffer = engine_->memory().alloc(bytes, engine_->config().l3.line_bytes);
+    ch.buffer_bytes = bytes;
+  }
+  // Sender-side copy into the message buffer.
+  touch_buffer(ctx, ch.buffer, bytes, /*store=*/true);
+
+  const auto& src_place = mapping_->placement(src);
+  const auto& dst_place = mapping_->placement(dst);
+  sim::Cycles ready = ctx.now();
+  if (src_place.node != dst_place.node)
+    ready = engine_->memory().link_transfer(src_place.node, dst_place.node,
+                                            bytes, ctx.now());
+  ch.queue.push_back(Message{bytes, ready});
+  total_bytes_ += bytes;
+}
+
+bool Communicator::try_recv(sim::AgentContext& ctx, std::uint32_t src,
+                            std::uint32_t dst) {
+  Channel& ch = channel(src, dst);
+  if (ch.queue.empty() || ch.queue.front().ready > ctx.now()) return false;
+  const Message msg = ch.queue.front();
+  ch.queue.pop_front();
+  // Receiver-side copy out of the message buffer. Same-socket pairs find
+  // the lines in the shared L3; others miss to memory.
+  touch_buffer(ctx, ch.buffer, msg.bytes, /*store=*/false);
+  return true;
+}
+
+std::size_t Communicator::pending(std::uint32_t src, std::uint32_t dst) const {
+  const auto it = channels_.find({src, dst});
+  return it == channels_.end() ? 0 : it->second.queue.size();
+}
+
+}  // namespace am::minimpi

@@ -1,0 +1,56 @@
+#include "minimpi/mapping.hpp"
+
+#include <stdexcept>
+
+namespace am::minimpi {
+
+Mapping::Mapping(const sim::MachineConfig& machine, std::uint32_t num_ranks,
+                 std::uint32_t per_socket)
+    : machine_(&machine), per_socket_(per_socket) {
+  if (num_ranks == 0 || per_socket == 0)
+    throw std::invalid_argument("Mapping: zero ranks or density");
+  if (per_socket > machine.cores_per_socket)
+    throw std::invalid_argument("Mapping: more ranks per socket than cores");
+  const std::uint32_t sockets_needed =
+      (num_ranks + per_socket - 1) / per_socket;
+  if (sockets_needed > machine.total_sockets())
+    throw std::invalid_argument("Mapping: machine too small for " +
+                                std::to_string(num_ranks) + " ranks");
+  ranks_.reserve(num_ranks);
+  for (std::uint32_t r = 0; r < num_ranks; ++r) {
+    const std::uint32_t socket = r / per_socket;
+    const std::uint32_t slot = r % per_socket;
+    const sim::CoreId core = socket * machine.cores_per_socket + slot;
+    ranks_.push_back(RankPlacement{
+        r, core, socket, socket / machine.sockets_per_node});
+  }
+  for (std::uint32_t s = 0; s < sockets_needed; ++s) used_sockets_.push_back(s);
+  nodes_used_ =
+      (sockets_needed + machine.sockets_per_node - 1) / machine.sockets_per_node;
+}
+
+std::vector<sim::CoreId> Mapping::free_cores(std::uint32_t socket) const {
+  std::vector<sim::CoreId> free;
+  const sim::CoreId base = socket * machine_->cores_per_socket;
+  for (std::uint32_t c = 0; c < machine_->cores_per_socket; ++c) {
+    const sim::CoreId core = base + c;
+    bool taken = false;
+    for (const auto& rp : ranks_)
+      if (rp.core == core) {
+        taken = true;
+        break;
+      }
+    if (!taken) free.push_back(core);
+  }
+  return free;
+}
+
+std::vector<std::uint32_t> Mapping::socket_peers(std::uint32_t rank) const {
+  std::vector<std::uint32_t> peers;
+  const auto socket = placement(rank).socket;
+  for (const auto& rp : ranks_)
+    if (rp.socket == socket && rp.rank != rank) peers.push_back(rp.rank);
+  return peers;
+}
+
+}  // namespace am::minimpi

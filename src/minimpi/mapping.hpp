@@ -1,0 +1,57 @@
+#pragma once
+// Rank-to-core mapping, mirroring the paper's §IV experiments: p MPI
+// processes are packed per processor (socket), leaving 8-p cores per socket
+// free for interference threads. With 24 ranks and p per socket the job
+// spans 24/(2p) two-socket nodes.
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace am::minimpi {
+
+struct RankPlacement {
+  std::uint32_t rank = 0;
+  sim::CoreId core = 0;
+  std::uint32_t socket = 0;
+  std::uint32_t node = 0;
+};
+
+class Mapping {
+ public:
+  /// Places `num_ranks` ranks, `per_socket` on each socket, packing sockets
+  /// in order. Throws if the machine does not have enough sockets/cores.
+  Mapping(const sim::MachineConfig& machine, std::uint32_t num_ranks,
+          std::uint32_t per_socket);
+
+  std::uint32_t num_ranks() const {
+    return static_cast<std::uint32_t>(ranks_.size());
+  }
+  std::uint32_t per_socket() const { return per_socket_; }
+  const RankPlacement& placement(std::uint32_t rank) const {
+    return ranks_.at(rank);
+  }
+
+  /// Sockets hosting at least one rank.
+  const std::vector<std::uint32_t>& used_sockets() const {
+    return used_sockets_;
+  }
+
+  /// Free cores on a given socket (available for interference threads).
+  std::vector<sim::CoreId> free_cores(std::uint32_t socket) const;
+
+  /// Nodes required by this mapping (the paper's 24/(2p) formula).
+  std::uint32_t nodes_used() const { return nodes_used_; }
+
+  /// Ranks sharing a socket with `rank` (excluding itself).
+  std::vector<std::uint32_t> socket_peers(std::uint32_t rank) const;
+
+ private:
+  const sim::MachineConfig* machine_;
+  std::uint32_t per_socket_;
+  std::uint32_t nodes_used_ = 0;
+  std::vector<RankPlacement> ranks_;
+  std::vector<std::uint32_t> used_sockets_;
+};
+
+}  // namespace am::minimpi

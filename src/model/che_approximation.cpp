@@ -1,0 +1,60 @@
+#include "model/che_approximation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace am::model {
+
+CheApproximation::CheApproximation(const AccessDistribution& dist,
+                                   std::uint64_t element_bytes,
+                                   std::uint64_t line_bytes)
+    : line_bytes_(line_bytes) {
+  if (element_bytes == 0 || line_bytes == 0 || line_bytes % element_bytes != 0)
+    throw std::invalid_argument("line_bytes must be a multiple of element_bytes");
+  const std::uint64_t elems_per_line = line_bytes / element_bytes;
+  const std::uint64_t lines = (dist.n() + elems_per_line - 1) / elems_per_line;
+  line_prob_.resize(lines);
+  for (std::uint64_t j = 0; j < lines; ++j) {
+    const double lo = static_cast<double>(j * elems_per_line);
+    const double hi =
+        std::min(static_cast<double>((j + 1) * elems_per_line),
+                 static_cast<double>(dist.n()));
+    line_prob_[j] = dist.cdf(hi) - dist.cdf(lo);
+  }
+}
+
+double CheApproximation::characteristic_time(double cache_lines) const {
+  if (cache_lines >= static_cast<double>(line_prob_.size()))
+    return std::numeric_limits<double>::infinity();
+  // Monotone in T; bisect on sum_j (1 - exp(-q_j T)) = cache_lines.
+  double lo = 0.0, hi = 1.0;
+  auto occupancy = [&](double t) {
+    double acc = 0.0;
+    for (double q : line_prob_) acc += -std::expm1(-q * t);
+    return acc;
+  };
+  while (occupancy(hi) < cache_lines) {
+    hi *= 2.0;
+    if (hi > 1e18) break;
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (occupancy(mid) < cache_lines)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double CheApproximation::expected_hit_rate(std::uint64_t cache_bytes) const {
+  const double cache_lines =
+      static_cast<double>(cache_bytes) / static_cast<double>(line_bytes_);
+  if (cache_lines >= static_cast<double>(line_prob_.size())) return 1.0;
+  const double t = characteristic_time(cache_lines);
+  double hit = 0.0;
+  for (double q : line_prob_) hit += q * -std::expm1(-q * t);
+  return hit;
+}
+
+}  // namespace am::model

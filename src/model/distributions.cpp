@@ -1,0 +1,213 @@
+#include "model/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace am::model {
+
+namespace {
+
+double phi(double z) {  // standard normal pdf
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double Phi(double z) {  // standard normal cdf
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+}  // namespace
+
+AccessDistribution AccessDistribution::normal(std::uint64_t n, double mu,
+                                              double sigma, std::string name) {
+  if (n == 0 || sigma <= 0.0)
+    throw std::invalid_argument("normal: need n>0, sigma>0");
+  AccessDistribution d;
+  d.kind_ = DistKind::kNormal;
+  d.n_ = n;
+  d.a_ = mu;
+  d.b_ = sigma;
+  d.name_ = std::move(name);
+  const double nn = static_cast<double>(n);
+  d.norm_ = Phi((nn - mu) / sigma) - Phi((0.0 - mu) / sigma);
+  return d;
+}
+
+AccessDistribution AccessDistribution::exponential(std::uint64_t n,
+                                                   double lambda,
+                                                   std::string name) {
+  if (n == 0 || lambda <= 0.0)
+    throw std::invalid_argument("exponential: need n>0, lambda>0");
+  AccessDistribution d;
+  d.kind_ = DistKind::kExponential;
+  d.n_ = n;
+  d.a_ = lambda;
+  d.name_ = std::move(name);
+  d.norm_ = 1.0 - std::exp(-lambda * static_cast<double>(n));
+  return d;
+}
+
+AccessDistribution AccessDistribution::triangular(std::uint64_t n, double mode,
+                                                  std::string name) {
+  if (n == 0 || mode < 0.0 || mode > static_cast<double>(n))
+    throw std::invalid_argument("triangular: mode must lie in [0, n]");
+  AccessDistribution d;
+  d.kind_ = DistKind::kTriangular;
+  d.n_ = n;
+  d.a_ = mode;
+  d.name_ = std::move(name);
+  d.norm_ = 1.0;  // support is exactly [0, n]; no truncation needed
+  return d;
+}
+
+AccessDistribution AccessDistribution::uniform(std::uint64_t n,
+                                               std::string name) {
+  if (n == 0) throw std::invalid_argument("uniform: need n>0");
+  AccessDistribution d;
+  d.kind_ = DistKind::kUniform;
+  d.n_ = n;
+  d.name_ = std::move(name);
+  d.norm_ = 1.0;
+  return d;
+}
+
+std::vector<AccessDistribution> AccessDistribution::table2(std::uint64_t n) {
+  const double nn = static_cast<double>(n);
+  std::vector<AccessDistribution> out;
+  out.push_back(normal(n, nn / 2, nn / 4, "Norm_4"));
+  out.push_back(normal(n, nn / 2, nn / 6, "Norm_6"));
+  out.push_back(normal(n, nn / 2, nn / 8, "Norm_8"));
+  out.push_back(exponential(n, 4.0 / nn, "Exp_4"));
+  out.push_back(exponential(n, 6.0 / nn, "Exp_6"));
+  out.push_back(exponential(n, 8.0 / nn, "Exp_8"));
+  out.push_back(triangular(n, 0.4 * nn, "Tri_1"));
+  out.push_back(triangular(n, 0.6 * nn, "Tri_2"));
+  out.push_back(triangular(n, 0.8 * nn, "Tri_3"));
+  out.push_back(uniform(n, "Uni"));
+  return out;
+}
+
+double AccessDistribution::pdf(double x) const {
+  const double nn = static_cast<double>(n_);
+  if (x < 0.0 || x >= nn) return 0.0;
+  switch (kind_) {
+    case DistKind::kNormal:
+      return phi((x - a_) / b_) / b_ / norm_;
+    case DistKind::kExponential:
+      return a_ * std::exp(-a_ * x) / norm_;
+    case DistKind::kTriangular: {
+      const double m = a_;
+      if (x < m) return m > 0.0 ? 2.0 * x / (nn * m) : 0.0;
+      return 2.0 * (nn - x) / (nn * (nn - m));
+    }
+    case DistKind::kUniform:
+      return 1.0 / nn;
+  }
+  return 0.0;
+}
+
+double AccessDistribution::cdf(double x) const {
+  const double nn = static_cast<double>(n_);
+  if (x <= 0.0) return 0.0;
+  if (x >= nn) return 1.0;
+  switch (kind_) {
+    case DistKind::kNormal:
+      return (Phi((x - a_) / b_) - Phi((0.0 - a_) / b_)) / norm_;
+    case DistKind::kExponential:
+      return (1.0 - std::exp(-a_ * x)) / norm_;
+    case DistKind::kTriangular: {
+      const double m = a_;
+      if (x < m) return x * x / (nn * m);
+      return 1.0 - (nn - x) * (nn - x) / (nn * (nn - m));
+    }
+    case DistKind::kUniform:
+      return x / nn;
+  }
+  return 0.0;
+}
+
+std::uint64_t AccessDistribution::sample(Rng& rng) const {
+  const double nn = static_cast<double>(n_);
+  double x = 0.0;
+  switch (kind_) {
+    case DistKind::kNormal: {
+      // Box-Muller with rejection outside [0, n). With Table II parameters
+      // (mu = n/2, sigma <= n/4) the rejection rate is below 5%.
+      for (;;) {
+        const double u1 = rng.uniform();
+        const double u2 = rng.uniform();
+        const double r = std::sqrt(-2.0 * std::log(1.0 - u1));
+        x = a_ + b_ * r * std::cos(2.0 * std::numbers::pi * u2);
+        if (x >= 0.0 && x < nn) break;
+        x = a_ + b_ * r * std::sin(2.0 * std::numbers::pi * u2);
+        if (x >= 0.0 && x < nn) break;
+      }
+      break;
+    }
+    case DistKind::kExponential: {
+      // Inverse CDF of the *truncated* exponential: exact, no rejection.
+      const double u = rng.uniform();
+      x = -std::log(1.0 - u * norm_) / a_;
+      break;
+    }
+    case DistKind::kTriangular: {
+      const double u = rng.uniform();
+      const double m = a_;
+      const double pivot = m / nn;  // CDF value at the mode
+      if (u < pivot)
+        x = std::sqrt(u * nn * m);
+      else
+        x = nn - std::sqrt((1.0 - u) * nn * (nn - m));
+      break;
+    }
+    case DistKind::kUniform:
+      return rng.bounded(n_);
+  }
+  auto idx = static_cast<std::uint64_t>(x);
+  if (idx >= n_) idx = n_ - 1;
+  return idx;
+}
+
+double AccessDistribution::integral_pdf_sq() const {
+  const double nn = static_cast<double>(n_);
+  switch (kind_) {
+    case DistKind::kNormal: {
+      // integral of (phi((x-mu)/s)/s)^2 over [0,n] =
+      //   1/(2 s sqrt(pi)) * [Phi(sqrt2 (n-mu)/s) - Phi(sqrt2 (0-mu)/s)]
+      const double s = b_;
+      const double span = Phi(std::numbers::sqrt2 * (nn - a_) / s) -
+                          Phi(std::numbers::sqrt2 * (0.0 - a_) / s);
+      return span / (2.0 * s * std::sqrt(std::numbers::pi)) / (norm_ * norm_);
+    }
+    case DistKind::kExponential: {
+      const double l = a_;
+      return l * (1.0 - std::exp(-2.0 * l * nn)) / (2.0 * norm_ * norm_);
+    }
+    case DistKind::kTriangular:
+      // integral p^2 = 4m/(3 n^2 m) ... works out to 4/(3n), independent of
+      // the mode: both linear ramps contribute (4/3)*(segment length)/n^2.
+      return 4.0 / (3.0 * nn);
+    case DistKind::kUniform:
+      return 1.0 / nn;
+  }
+  return 0.0;
+}
+
+double AccessDistribution::stddev() const {
+  const double nn = static_cast<double>(n_);
+  switch (kind_) {
+    case DistKind::kNormal:
+      return b_;
+    case DistKind::kExponential:
+      return 1.0 / a_;
+    case DistKind::kTriangular: {
+      const double m = a_;
+      return std::sqrt((nn * nn + m * m - nn * m) / 18.0);
+    }
+    case DistKind::kUniform:
+      return nn / std::sqrt(12.0);
+  }
+  return 0.0;
+}
+
+}  // namespace am::model

@@ -1,0 +1,76 @@
+#pragma once
+// The probabilistic memory-access patterns of Table II (Casas &
+// Bronevetsky 2014): truncated Normal, truncated Exponential, Triangular and
+// Uniform distributions over buffer indices [0, n).
+//
+// Each distribution provides a continuous density p(x) over index space
+// (normalized after truncation to [0, n)), an exact sampler, and the
+// integral of p(x)^2 used by the Expected-Hit-Rate model (Eq. 4 of the
+// paper): EHR = capacity_in_elements * integral(p^2).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace am::model {
+
+enum class DistKind { kNormal, kExponential, kTriangular, kUniform };
+
+/// A probability distribution over buffer element indices [0, n).
+/// Value-semantic; cheap to copy.
+class AccessDistribution {
+ public:
+  /// Normal(mu, sigma) truncated to [0, n).
+  static AccessDistribution normal(std::uint64_t n, double mu, double sigma,
+                                   std::string name);
+  /// Exponential(lambda) truncated to [0, n).
+  static AccessDistribution exponential(std::uint64_t n, double lambda,
+                                        std::string name);
+  /// Triangular with lower 0, mode, upper n.
+  static AccessDistribution triangular(std::uint64_t n, double mode,
+                                       std::string name);
+  /// Uniform over [0, n).
+  static AccessDistribution uniform(std::uint64_t n, std::string name);
+
+  /// The ten Table II patterns for a buffer of n elements:
+  /// Norm_4/6/8, Exp_4/6/8, Tri_1/2/3, Uni.
+  static std::vector<AccessDistribution> table2(std::uint64_t n);
+
+  const std::string& name() const { return name_; }
+  DistKind kind() const { return kind_; }
+  std::uint64_t n() const { return n_; }
+
+  /// Truncated-normalized density at x in [0, n); 0 outside.
+  double pdf(double x) const;
+  /// Truncated-normalized CDF at x (0 below 0, 1 above n).
+  double cdf(double x) const;
+
+  /// Draws an element index in [0, n).
+  std::uint64_t sample(Rng& rng) const;
+
+  /// integral over [0,n) of pdf(x)^2 dx — closed form. Multiplying by a
+  /// cache capacity expressed in elements yields the paper's EHR (Eq. 4).
+  double integral_pdf_sq() const;
+
+  /// Standard deviation of the *untruncated* distribution, as listed in
+  /// Table II of the paper (paper's table lists variances n^2/18, n^2/12
+  /// for triangular/uniform; this returns the true stddev).
+  double stddev() const;
+
+ private:
+  AccessDistribution() = default;
+
+  DistKind kind_ = DistKind::kUniform;
+  std::uint64_t n_ = 0;
+  std::string name_;
+  // Parameter meanings by kind:
+  //   Normal:      a_ = mu, b_ = sigma
+  //   Exponential: a_ = lambda
+  //   Triangular:  a_ = mode
+  double a_ = 0.0;
+  double b_ = 0.0;
+  double norm_ = 1.0;  // truncation normalization constant Z
+};
+
+}  // namespace am::model

@@ -1,0 +1,30 @@
+#include "model/ehr_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace am::model {
+
+EhrModel::EhrModel(const AccessDistribution& dist, std::uint64_t element_bytes)
+    : ipdf2_(dist.integral_pdf_sq()),
+      element_bytes_(element_bytes),
+      buffer_bytes_(dist.n() * element_bytes) {
+  if (element_bytes == 0) throw std::invalid_argument("element_bytes == 0");
+}
+
+double EhrModel::expected_hit_rate(std::uint64_t cache_bytes) const {
+  const double cap_elems =
+      static_cast<double>(cache_bytes) / static_cast<double>(element_bytes_);
+  return std::clamp(cap_elems * ipdf2_, 0.0, 1.0);
+}
+
+double EhrModel::expected_miss_rate(std::uint64_t cache_bytes) const {
+  return 1.0 - expected_hit_rate(cache_bytes);
+}
+
+double EhrModel::invert_capacity(double observed_miss_rate) const {
+  const double hit = std::clamp(1.0 - observed_miss_rate, 0.0, 1.0);
+  return hit / ipdf2_ * static_cast<double>(element_bytes_);
+}
+
+}  // namespace am::model

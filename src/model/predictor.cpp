@@ -1,0 +1,60 @@
+#include "model/predictor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace am::model {
+
+SensitivityCurve::SensitivityCurve(std::vector<SensitivityPoint> points)
+    : points_(std::move(points)) {
+  if (points_.empty())
+    throw std::invalid_argument("SensitivityCurve: no points");
+  std::sort(points_.begin(), points_.end(),
+            [](const SensitivityPoint& a, const SensitivityPoint& b) {
+              return a.resource_available < b.resource_available;
+            });
+  // Enforce the monotone upper envelope scanning from most resource down:
+  // less resource can never be predicted faster than more resource.
+  baseline_runtime_ = points_.back().runtime_seconds;
+  double floor_runtime = points_.back().runtime_seconds;
+  for (auto it = points_.rbegin(); it != points_.rend(); ++it) {
+    floor_runtime = std::max(floor_runtime, it->runtime_seconds);
+    it->runtime_seconds = floor_runtime;
+  }
+}
+
+double SensitivityCurve::predict_runtime(double resource) const {
+  if (resource <= points_.front().resource_available)
+    return points_.front().runtime_seconds;
+  if (resource >= points_.back().resource_available)
+    return points_.back().runtime_seconds;
+  const auto hi = std::lower_bound(
+      points_.begin(), points_.end(), resource,
+      [](const SensitivityPoint& p, double r) { return p.resource_available < r; });
+  const auto lo = hi - 1;
+  const double span = hi->resource_available - lo->resource_available;
+  const double frac = span > 0.0 ? (resource - lo->resource_available) / span : 0.0;
+  return lo->runtime_seconds +
+         frac * (hi->runtime_seconds - lo->runtime_seconds);
+}
+
+double SensitivityCurve::predict_slowdown(double resource) const {
+  return predict_runtime(resource) / baseline_runtime_;
+}
+
+double SensitivityCurve::active_use_threshold(double tolerance) const {
+  const double limit = baseline_runtime_ * (1.0 + tolerance);
+  // Walk from most resource to least: the first level whose (envelope)
+  // runtime exceeds the tolerance bound marks the boundary; the application
+  // actively uses at least the previous (non-degraded) level.
+  for (auto it = points_.rbegin(); it != points_.rend(); ++it) {
+    if (it->runtime_seconds > limit) {
+      auto degraded = it.base() - 1;  // iterator to *it
+      if (degraded + 1 != points_.end()) return (degraded + 1)->resource_available;
+      return degraded->resource_available;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace am::model

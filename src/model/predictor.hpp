@@ -1,0 +1,45 @@
+#pragma once
+// Performance prediction from measured sensitivity curves — the paper's
+// final contribution: given how an application responded to calibrated
+// interference levels, predict its runtime on a machine that offers less
+// cache capacity or memory bandwidth (e.g. a future memory-starved node).
+#include <cstdint>
+#include <vector>
+
+namespace am::model {
+
+/// One observation: the application ran with `resource_available` units of
+/// a resource (bytes of shared cache, or bytes/s of memory bandwidth) and
+/// took `runtime_seconds`.
+struct SensitivityPoint {
+  double resource_available = 0.0;
+  double runtime_seconds = 0.0;
+};
+
+/// Piecewise-linear sensitivity curve over resource availability.
+/// Monotonicity is not enforced on input (measurements are noisy) but
+/// queries use the monotone upper envelope so predictions are conservative.
+class SensitivityCurve {
+ public:
+  explicit SensitivityCurve(std::vector<SensitivityPoint> points);
+
+  /// Predicted runtime when `resource` units are available. Clamps outside
+  /// the measured range (no extrapolation beyond the worst observed level).
+  double predict_runtime(double resource) const;
+
+  /// Predicted slowdown factor relative to the most-resource point.
+  double predict_slowdown(double resource) const;
+
+  /// The resource level below which runtime exceeds baseline * (1 + tol):
+  /// the paper's definition of the amount of resource the application
+  /// actively uses (Fig. 1). Returns 0 if never degraded.
+  double active_use_threshold(double tolerance = 0.05) const;
+
+  const std::vector<SensitivityPoint>& points() const { return points_; }
+
+ private:
+  std::vector<SensitivityPoint> points_;  // sorted by resource ascending
+  double baseline_runtime_ = 0.0;         // runtime at max resource
+};
+
+}  // namespace am::model

@@ -1,0 +1,109 @@
+#include "model/stack_distance.hpp"
+
+#include <algorithm>
+
+namespace am::model {
+
+void StackDistanceAnalyzer::bit_add(std::size_t pos, int delta) {
+  for (std::size_t i = pos; i < bit_.size(); i += i & (~i + 1))
+    bit_[i] += delta;
+}
+
+std::uint64_t StackDistanceAnalyzer::bit_suffix_sum(std::size_t from) const {
+  // Prefix sums: suffix(from) = total - prefix(from - 1).
+  auto prefix = [this](std::size_t pos) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = pos; i > 0; i -= i & (~i + 1))
+      acc += static_cast<std::uint64_t>(bit_[i]);
+    return acc;
+  };
+  const std::uint64_t total = prefix(bit_.size() - 1);
+  return total - prefix(from - 1);
+}
+
+void StackDistanceAnalyzer::grow(std::size_t need) {
+  // A Fenwick node covers a range, so the array cannot simply be resized:
+  // rebuild the tree from the raw markers at the new size.
+  std::size_t size = std::max<std::size_t>(1024, bit_.empty() ? 0 : (bit_.size() - 1) * 2);
+  while (size < need) size *= 2;
+  bit_.assign(size + 1, 0);
+  marker_.resize(size + 1, 0);
+  for (std::size_t pos = 1; pos < marker_.size(); ++pos)
+    if (marker_[pos]) bit_add(pos, +1);
+}
+
+std::uint64_t StackDistanceAnalyzer::access(std::uint64_t line) {
+  ++time_;
+  if (bit_.size() <= time_) grow(static_cast<std::size_t>(time_));
+
+  std::uint64_t distance = kCold;
+  const auto it = last_access_.find(line);
+  if (it != last_access_.end()) {
+    // Active markers strictly after the previous access are exactly the
+    // distinct lines touched since then (each line keeps one marker, at
+    // its most recent access).
+    distance = bit_suffix_sum(static_cast<std::size_t>(it->second) + 1);
+    bit_add(static_cast<std::size_t>(it->second), -1);
+    marker_[static_cast<std::size_t>(it->second)] = 0;
+  }
+  bit_add(static_cast<std::size_t>(time_), +1);
+  marker_[static_cast<std::size_t>(time_)] = 1;
+  last_access_[line] = time_;
+  return distance;
+}
+
+std::vector<std::uint64_t> StackDistanceAnalyzer::analyze(
+    const std::vector<std::uint64_t>& lines) {
+  StackDistanceAnalyzer analyzer;
+  std::vector<std::uint64_t> out;
+  out.reserve(lines.size());
+  for (const auto line : lines) out.push_back(analyzer.access(line));
+  return out;
+}
+
+MissRateCurve::MissRateCurve(const std::vector<std::uint64_t>& distances) {
+  finite_.reserve(distances.size());
+  for (const auto d : distances) {
+    if (d == StackDistanceAnalyzer::kCold)
+      ++cold_;
+    else
+      finite_.push_back(d);
+  }
+  std::sort(finite_.begin(), finite_.end());
+}
+
+double MissRateCurve::miss_rate(std::uint64_t cache_lines) const {
+  const std::uint64_t total = total_accesses();
+  if (total == 0) return 0.0;
+  // A hit requires distance < cache_lines (the line plus the distinct
+  // lines since fit together in the cache).
+  const auto hit_end = std::lower_bound(finite_.begin(), finite_.end(),
+                                        cache_lines);
+  const auto hits = static_cast<std::uint64_t>(hit_end - finite_.begin());
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double MissRateCurve::warm_miss_rate(std::uint64_t cache_lines) const {
+  if (finite_.empty()) return 0.0;
+  const auto hit_end =
+      std::lower_bound(finite_.begin(), finite_.end(), cache_lines);
+  const auto hits = static_cast<std::uint64_t>(hit_end - finite_.begin());
+  return 1.0 - static_cast<double>(hits) /
+                   static_cast<double>(finite_.size());
+}
+
+std::uint64_t MissRateCurve::capacity_for_miss_rate(double target) const {
+  if (finite_.empty()) return UINT64_MAX;
+  if (miss_rate(finite_.back() + 1) > target) return UINT64_MAX;
+  std::uint64_t lo = 0, hi = finite_.back() + 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (miss_rate(mid) <= target)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+}  // namespace am::model

@@ -1,0 +1,77 @@
+#pragma once
+// Exact LRU stack-distance analysis (Mattson et al.) over a captured
+// access trace, using the Bennett-Kruskal algorithm: a Fenwick tree over
+// access timestamps counts the distinct lines touched since an address's
+// previous access in O(log n).
+//
+// The resulting miss-rate curve is the ground truth the paper's analytic
+// EHR model (Eq. 4) approximates: for any fully-associative LRU capacity
+// C, miss_rate(C) = P(stack distance >= C). bench/abl_mrc compares the
+// three models (exact MRC, Eq. 4, Che) against the simulator.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace am::model {
+
+/// Streaming stack-distance computation over line addresses.
+class StackDistanceAnalyzer {
+ public:
+  /// Returned for the first access to a line (cold miss).
+  static constexpr std::uint64_t kCold = UINT64_MAX;
+
+  /// Feeds the next line address; returns its LRU stack distance: the
+  /// number of *distinct* lines referenced since this line's previous
+  /// access (0 = immediate re-reference), or kCold.
+  std::uint64_t access(std::uint64_t line);
+
+  /// Convenience: all distances of a trace.
+  static std::vector<std::uint64_t> analyze(
+      const std::vector<std::uint64_t>& lines);
+
+  std::uint64_t accesses() const { return time_; }
+  std::uint64_t unique_lines() const {
+    return static_cast<std::uint64_t>(last_access_.size());
+  }
+
+ private:
+  void bit_add(std::size_t pos, int delta);
+  std::uint64_t bit_suffix_sum(std::size_t from) const;
+
+  void grow(std::size_t need);
+
+  std::vector<int> bit_;        // Fenwick tree over timestamps (1-based)
+  std::vector<std::uint8_t> marker_;  // raw markers, for tree rebuilds
+  std::unordered_map<std::uint64_t, std::uint64_t> last_access_;
+  std::uint64_t time_ = 0;
+};
+
+/// Miss-rate curve built from stack distances.
+class MissRateCurve {
+ public:
+  explicit MissRateCurve(const std::vector<std::uint64_t>& distances);
+
+  /// Fraction of accesses that miss in a fully associative LRU cache of
+  /// `cache_lines` lines. Cold misses always count as misses.
+  double miss_rate(std::uint64_t cache_lines) const;
+
+  /// Steady-state variant: cold (first-touch) misses excluded from both
+  /// numerator and denominator — comparable to the paper's warmed-up
+  /// measurements.
+  double warm_miss_rate(std::uint64_t cache_lines) const;
+
+  /// Smallest capacity whose miss rate is <= target (UINT64_MAX if even
+  /// holding every line cannot reach it, i.e. cold misses dominate).
+  std::uint64_t capacity_for_miss_rate(double target) const;
+
+  std::uint64_t total_accesses() const {
+    return static_cast<std::uint64_t>(finite_.size()) + cold_;
+  }
+  std::uint64_t cold_misses() const { return cold_; }
+
+ private:
+  std::vector<std::uint64_t> finite_;  // sorted finite distances
+  std::uint64_t cold_ = 0;
+};
+
+}  // namespace am::model

@@ -1,0 +1,70 @@
+#pragma once
+// Agents are the simulated "threads": application ranks, synthetic
+// benchmarks and interference threads all implement this interface. Each
+// agent runs on one core and owns a local cycle clock; the Engine
+// interleaves agents deterministically by always advancing the one whose
+// clock is furthest behind.
+#include <span>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+class Engine;
+
+/// The per-step execution interface handed to an agent. All memory and
+/// compute operations advance the agent's local clock.
+class AgentContext {
+ public:
+  AgentContext(Engine& engine, std::size_t agent_index)
+      : engine_(&engine), index_(agent_index) {}
+
+  Cycles now() const;
+  CoreId core() const;
+  Rng& rng();
+  Engine& engine() { return *engine_; }
+  std::size_t agent_index() const { return index_; }
+
+  /// Pure computation for `cycles` cycles.
+  void compute(Cycles cycles);
+
+  /// Dependent (serialized) memory operations.
+  void load(Addr addr);
+  void store(Addr addr);
+
+  /// Independent memory operations that may overlap in the memory system
+  /// (bounded by the machine's line-fill-buffer count).
+  void load_batch(std::span<const Addr> addrs);
+  void store_batch(std::span<const Addr> addrs);
+
+ private:
+  Engine* engine_;
+  std::size_t index_;
+};
+
+class Agent {
+ public:
+  explicit Agent(std::string name) : name_(std::move(name)) {}
+  virtual ~Agent() = default;
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Performs a bounded chunk of work (typically tens of operations).
+  /// Must advance the context's clock; the engine force-advances by one
+  /// cycle otherwise to guarantee progress.
+  virtual void step(AgentContext& ctx) = 0;
+
+  /// Primary agents end the simulation once all of them are finished.
+  /// Interference agents run forever and return false.
+  virtual bool finished() const = 0;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace am::sim

@@ -1,0 +1,40 @@
+#include "sim/bandwidth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace am::sim {
+
+BandwidthChannel::BandwidthChannel(double bytes_per_cycle,
+                                   Cycles latency_cycles)
+    : bytes_per_cycle_(bytes_per_cycle), latency_cycles_(latency_cycles) {
+  if (bytes_per_cycle <= 0.0)
+    throw std::invalid_argument("BandwidthChannel: bytes_per_cycle <= 0");
+}
+
+Cycles BandwidthChannel::transfer(Cycles now, std::uint64_t bytes) {
+  const auto duration = static_cast<Cycles>(
+      std::ceil(static_cast<double>(bytes) / bytes_per_cycle_));
+  const Cycles start = std::max(now, busy_until_);
+  busy_until_ = start + duration;
+  total_bytes_ += bytes;
+  busy_cycles_ += duration;
+  return busy_until_ + latency_cycles_;
+}
+
+void BandwidthChannel::transfer_async(Cycles now, std::uint64_t bytes) {
+  (void)transfer(now, bytes);
+}
+
+bool BandwidthChannel::saturated(Cycles now, Cycles max_queue_cycles) const {
+  return busy_until_ > now + max_queue_cycles;
+}
+
+double BandwidthChannel::utilization(Cycles now) const {
+  if (now == 0) return 0.0;
+  return std::min(1.0, static_cast<double>(busy_cycles_) /
+                           static_cast<double>(now));
+}
+
+}  // namespace am::sim

@@ -1,0 +1,46 @@
+#pragma once
+// Finite-bandwidth channel model: a serially occupied link (memory bus or
+// inter-node interconnect). Transfers queue behind each other, which is how
+// bandwidth interference manifests as added miss latency.
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+class BandwidthChannel {
+ public:
+  /// bytes_per_cycle: peak bandwidth. latency_cycles: propagation latency
+  /// added after the transfer completes (DRAM access / link latency).
+  BandwidthChannel(double bytes_per_cycle, Cycles latency_cycles);
+
+  /// Schedules a transfer of `bytes` requested at time `now`; returns the
+  /// completion time (queueing + occupancy + latency).
+  Cycles transfer(Cycles now, std::uint64_t bytes);
+
+  /// Schedules a transfer that nobody waits on (write-backs, prefetches):
+  /// occupies the channel but returns no completion time.
+  void transfer_async(Cycles now, std::uint64_t bytes);
+
+  /// True if a transfer issued now would have to queue more than
+  /// `max_queue_cycles` — used to drop prefetches under saturation.
+  bool saturated(Cycles now, Cycles max_queue_cycles) const;
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  Cycles busy_until() const { return busy_until_; }
+  double bytes_per_cycle() const { return bytes_per_cycle_; }
+
+  /// Average utilization over [0, now]: busy cycles / now.
+  double utilization(Cycles now) const;
+
+  void reset_stats() { total_bytes_ = 0; busy_cycles_ = 0; }
+
+ private:
+  double bytes_per_cycle_;
+  Cycles latency_cycles_;
+  Cycles busy_until_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace am::sim

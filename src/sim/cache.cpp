@@ -1,0 +1,135 @@
+#include "sim/cache.hpp"
+
+#include <stdexcept>
+
+namespace am::sim {
+
+void CacheConfig::validate() const {
+  if (size_bytes == 0 || line_bytes == 0 || ways == 0)
+    throw std::invalid_argument("CacheConfig: zero field in " + name);
+  if (size_bytes % line_bytes != 0)
+    throw std::invalid_argument("CacheConfig: size not multiple of line in " +
+                                name);
+  if (num_lines() % ways != 0)
+    throw std::invalid_argument("CacheConfig: lines not multiple of ways in " +
+                                name);
+  if (num_sets() == 0)
+    throw std::invalid_argument("CacheConfig: zero sets in " + name);
+}
+
+Cache::Cache(CacheConfig config) : config_(std::move(config)) {
+  config_.validate();
+  num_sets_ = config_.num_sets();
+  set_mask_ = (num_sets_ & (num_sets_ - 1)) == 0 ? num_sets_ - 1 : 0;
+  lines_.resize(config_.num_lines());
+}
+
+std::size_t Cache::set_base(Addr line_addr) const {
+  const std::uint64_t set =
+      set_mask_ ? (line_addr & set_mask_) : (line_addr % num_sets_);
+  return static_cast<std::size_t>(set * config_.ways);
+}
+
+Cache::AccessOutcome Cache::access(Addr line_addr, std::uint16_t owner,
+                                   std::uint32_t sharer_bit, bool is_store) {
+  AccessOutcome out;
+  const std::size_t base = set_base(line_addr);
+  ++stamp_;
+  std::size_t victim = base;
+  std::uint64_t victim_stamp = UINT64_MAX;
+  bool found_invalid = false;
+  for (std::size_t i = base; i < base + config_.ways; ++i) {
+    Line& line = lines_[i];
+    if (line.valid && line.tag == line_addr) {
+      line.stamp = stamp_;
+      line.sharers |= sharer_bit;
+      line.dirty |= is_store;
+      out.hit = true;
+      return out;
+    }
+    if (!line.valid) {
+      if (!found_invalid) {
+        victim = i;
+        found_invalid = true;
+      }
+    } else if (!found_invalid && line.stamp < victim_stamp) {
+      victim = i;
+      victim_stamp = line.stamp;
+    }
+  }
+  if (!found_invalid && config_.replacement == Replacement::kRandom)
+    victim = base + static_cast<std::size_t>(victim_rng_.bounded(config_.ways));
+  Line& line = lines_[victim];
+  if (line.valid) {
+    out.evicted = true;
+    out.evicted_dirty = line.dirty;
+    out.evicted_line = line.tag;
+    out.evicted_sharers = line.sharers;
+  }
+  const std::uint64_t insert_stamp =
+      stamp_ > config_.insert_age ? stamp_ - config_.insert_age : 0;
+  line = Line{line_addr, insert_stamp, sharer_bit, owner, /*valid=*/true,
+              /*dirty=*/is_store};
+  return out;
+}
+
+bool Cache::contains(Addr line_addr) const {
+  const std::size_t base = set_base(line_addr);
+  for (std::size_t i = base; i < base + config_.ways; ++i)
+    if (lines_[i].valid && lines_[i].tag == line_addr) return true;
+  return false;
+}
+
+void Cache::touch(Addr line_addr) {
+  const std::size_t base = set_base(line_addr);
+  for (std::size_t i = base; i < base + config_.ways; ++i) {
+    if (lines_[i].valid && lines_[i].tag == line_addr) {
+      lines_[i].stamp = ++stamp_;
+      return;
+    }
+  }
+}
+
+bool Cache::mark_dirty(Addr line_addr) {
+  const std::size_t base = set_base(line_addr);
+  for (std::size_t i = base; i < base + config_.ways; ++i) {
+    if (lines_[i].valid && lines_[i].tag == line_addr) {
+      lines_[i].dirty = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::invalidate(Addr line_addr) {
+  const std::size_t base = set_base(line_addr);
+  for (std::size_t i = base; i < base + config_.ways; ++i) {
+    Line& line = lines_[i];
+    if (line.valid && line.tag == line_addr) {
+      const bool dirty = line.dirty;
+      line = Line{};
+      return dirty;
+    }
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& line : lines_) line = Line{};
+}
+
+std::uint64_t Cache::occupancy_lines(std::uint16_t owner) const {
+  std::uint64_t count = 0;
+  for (const auto& line : lines_)
+    if (line.valid && line.owner == owner) ++count;
+  return count;
+}
+
+std::uint64_t Cache::resident_lines() const {
+  std::uint64_t count = 0;
+  for (const auto& line : lines_)
+    if (line.valid) ++count;
+  return count;
+}
+
+}  // namespace am::sim

@@ -1,0 +1,106 @@
+#pragma once
+// Set-associative cache model with per-line LRU stamps, dirty bits, owner
+// tags (for occupancy accounting in validation tests) and sharer masks
+// (for inclusive-L3 back-invalidation).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+/// Victim selection policy.
+enum class Replacement : std::uint8_t {
+  kLru,     // strict least-recently-used (per-line stamps)
+  kRandom,  // uniform random victim (deterministic per-cache stream);
+            // closer to the steady state the paper's Eq. 2-3 derivation
+            // assumes, and to how aggressively real pseudo-LRU L3s evict
+            // hot lines under churn
+};
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 8;
+  std::string name;
+  /// Optional thrash resistance (SRRIP-style): newly inserted lines enter
+  /// with a stamp this many accesses in the past, so one-touch streaming
+  /// data is evicted before recently re-used lines. 0 (default, used by
+  /// the Xeon20MB presets) = plain MRU insertion, which reproduces the
+  /// paper's observation that 3+ BWThrs start stealing cache capacity;
+  /// see bench/abl_insertion for the policy tradeoff.
+  std::uint64_t insert_age = 0;
+  Replacement replacement = Replacement::kLru;
+
+  std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+  std::uint64_t num_sets() const { return num_lines() / ways; }
+  /// Throws std::invalid_argument when geometry is inconsistent.
+  void validate() const;
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig config);
+
+  struct AccessOutcome {
+    bool hit = false;
+    bool evicted = false;
+    bool evicted_dirty = false;
+    Addr evicted_line = 0;          // line index (addr / line_bytes)
+    std::uint32_t evicted_sharers = 0;
+  };
+
+  /// Looks up a line; on miss, inserts it and reports the victim (if any).
+  /// `owner` tags the inserting agent (occupancy accounting); `sharer_bit`
+  /// is OR-ed into the line's sharer mask (used by the L3 to know which
+  /// private caches may hold copies).
+  AccessOutcome access(Addr line_addr, std::uint16_t owner,
+                       std::uint32_t sharer_bit = 0, bool is_store = false);
+
+  /// True if the line is present (no replacement state update).
+  bool contains(Addr line_addr) const;
+
+  /// Refreshes the LRU stamp of a resident line; no-op when absent.
+  void touch(Addr line_addr);
+
+  /// Sets the dirty bit of a resident line without touching replacement
+  /// state (used when a private cache writes back into the inclusive L3).
+  /// Returns false when the line is absent.
+  bool mark_dirty(Addr line_addr);
+
+  /// Removes the line if present; returns true if it was present and dirty.
+  bool invalidate(Addr line_addr);
+
+  void flush();
+
+  /// Number of resident lines tagged with `owner`. O(num_lines): intended
+  /// for tests and periodic metrics, not per-access use.
+  std::uint64_t occupancy_lines(std::uint16_t owner) const;
+  /// Total resident (valid) lines.
+  std::uint64_t resident_lines() const;
+
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    std::uint64_t stamp = 0;
+    std::uint32_t sharers = 0;
+    std::uint16_t owner = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::size_t set_base(Addr line_addr) const;
+
+  CacheConfig config_;
+  Rng victim_rng_{0x51ed270b7a64e5c4ull};  // deterministic random policy
+  std::uint64_t num_sets_;
+  std::uint64_t set_mask_;   // num_sets-1 when power of two, else 0
+  std::uint64_t stamp_ = 0;  // per-cache logical clock for LRU
+  std::vector<Line> lines_;  // ways contiguous per set
+};
+
+}  // namespace am::sim

@@ -1,0 +1,49 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace am::sim {
+
+void MachineConfig::validate() const {
+  if (nodes == 0 || sockets_per_node == 0 || cores_per_socket == 0)
+    throw std::invalid_argument("MachineConfig: empty topology");
+  if (frequency_ghz <= 0.0)
+    throw std::invalid_argument("MachineConfig: frequency <= 0");
+  if (mem_bandwidth_bytes_per_sec <= 0.0 || link_bandwidth_bytes_per_sec <= 0.0)
+    throw std::invalid_argument("MachineConfig: bandwidth <= 0");
+  if (max_outstanding_misses == 0)
+    throw std::invalid_argument("MachineConfig: max_outstanding_misses == 0");
+  l1.validate();
+  l2.validate();
+  l3.validate();
+  if (l1.line_bytes != l2.line_bytes || l2.line_bytes != l3.line_bytes)
+    throw std::invalid_argument("MachineConfig: mismatched line sizes");
+}
+
+MachineConfig MachineConfig::xeon20mb(std::uint32_t nodes) {
+  MachineConfig m;
+  m.nodes = nodes;
+  m.validate();
+  return m;
+}
+
+MachineConfig MachineConfig::xeon20mb_scaled(std::uint32_t factor,
+                                             std::uint32_t nodes) {
+  if (factor == 0) throw std::invalid_argument("scale factor == 0");
+  MachineConfig m = xeon20mb(nodes);
+  m.name = "Xeon20MB/" + std::to_string(factor);
+  auto scale = [&](CacheConfig& c) {
+    // Keep at least one set per way so the geometry stays legal.
+    const std::uint64_t min_size =
+        static_cast<std::uint64_t>(c.line_bytes) * c.ways;
+    c.size_bytes = std::max(min_size, c.size_bytes / factor);
+  };
+  scale(m.l1);
+  scale(m.l2);
+  scale(m.l3);
+  m.validate();
+  return m;
+}
+
+}  // namespace am::sim

@@ -1,0 +1,87 @@
+#pragma once
+// Machine topology and timing parameters. The default preset reproduces the
+// paper's "Xeon20MB" platform (Table I): 2-socket nodes of 8-core Intel
+// Xeon E5-2670, 20 MB 20-way shared L3 per socket, ~17 GB/s memory
+// bandwidth per socket (STREAM), QDR InfiniBand between nodes.
+#include <cstdint>
+#include <string>
+
+#include "sim/cache.hpp"
+#include "sim/prefetcher.hpp"
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+struct MachineConfig {
+  std::string name = "Xeon20MB";
+
+  std::uint32_t nodes = 1;
+  std::uint32_t sockets_per_node = 2;
+  std::uint32_t cores_per_socket = 8;
+
+  double frequency_ghz = 2.6;
+
+  CacheConfig l1{32 * 1024, 64, 8, "L1D"};
+  CacheConfig l2{256 * 1024, 64, 8, "L2"};
+  CacheConfig l3{20 * 1024 * 1024, 64, 20, "L3"};
+
+  Cycles l1_latency = 4;
+  Cycles l2_latency = 12;
+  Cycles l3_latency = 42;
+  Cycles mem_latency = 180;  // DRAM latency beyond bus occupancy
+
+  /// Peak memory bandwidth per socket, bytes per second.
+  double mem_bandwidth_bytes_per_sec = 17.0e9;
+  /// Bus occupancy of a write-back relative to a demand fill. Memory
+  /// controllers drain evictions through write-combining buffers at lower
+  /// effective cost than demand reads; 0.5 keeps read bandwidth under
+  /// store-heavy streams in line with the machine's STREAM behaviour.
+  double writeback_cost_factor = 0.5;
+  /// Inter-node interconnect (QDR InfiniBand-class): bandwidth + latency.
+  double link_bandwidth_bytes_per_sec = 5.0e9;
+  Cycles link_latency = 4000;  // ~1.5 us at 2.6 GHz
+
+  /// Maximum overlapped demand misses per core (line-fill-buffer model).
+  /// Calibrated so one BWThr draws ~2.8 GB/s as measured in the paper.
+  std::uint32_t max_outstanding_misses = 5;
+
+  /// Every k-th private-cache hit refreshes the line's L3 LRU stamp,
+  /// approximating the thrash protection real inclusive L3s give hot
+  /// private-cache lines. 0 disables the hint.
+  std::uint32_t l3_hint_interval = 16;
+
+  PrefetcherConfig prefetcher;
+
+  std::uint32_t total_sockets() const { return nodes * sockets_per_node; }
+  std::uint32_t total_cores() const {
+    return total_sockets() * cores_per_socket;
+  }
+  std::uint32_t socket_of(CoreId core) const { return core / cores_per_socket; }
+  std::uint32_t node_of(CoreId core) const {
+    return socket_of(core) / sockets_per_node;
+  }
+
+  double cycles_to_seconds(Cycles c) const {
+    return static_cast<double>(c) / (frequency_ghz * 1e9);
+  }
+  double mem_bytes_per_cycle() const {
+    return mem_bandwidth_bytes_per_sec / (frequency_ghz * 1e9);
+  }
+  double link_bytes_per_cycle() const {
+    return link_bandwidth_bytes_per_sec / (frequency_ghz * 1e9);
+  }
+
+  void validate() const;
+
+  /// The paper's platform, full size.
+  static MachineConfig xeon20mb(std::uint32_t nodes = 1);
+
+  /// Geometry-preserving scale-down: cache sizes divided by `factor`
+  /// (associativity, line size, latencies and bandwidth kept). Benches use
+  /// this so full sweeps finish in laptop time; EXPERIMENTS.md records the
+  /// factor used for each figure.
+  static MachineConfig xeon20mb_scaled(std::uint32_t factor,
+                                       std::uint32_t nodes = 1);
+};
+
+}  // namespace am::sim

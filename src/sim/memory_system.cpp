@@ -1,0 +1,217 @@
+#include "sim/memory_system.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace am::sim {
+
+MemorySystem::MemorySystem(MachineConfig config) : config_(std::move(config)) {
+  config_.validate();
+  if (!std::has_single_bit(
+          static_cast<std::uint64_t>(config_.l1.line_bytes)))
+    throw std::invalid_argument("line size must be a power of two");
+  line_shift_ = std::countr_zero(
+      static_cast<std::uint64_t>(config_.l1.line_bytes));
+
+  const auto cores = config_.total_cores();
+  const auto sockets = config_.total_sockets();
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    l1_.push_back(std::make_unique<Cache>(config_.l1));
+    l2_.push_back(std::make_unique<Cache>(config_.l2));
+    prefetcher_.push_back(std::make_unique<StreamPrefetcher>(config_.prefetcher));
+  }
+  for (std::uint32_t s = 0; s < sockets; ++s) {
+    l3_.push_back(std::make_unique<Cache>(config_.l3));
+    mem_channel_.push_back(std::make_unique<BandwidthChannel>(
+        config_.mem_bytes_per_cycle(), config_.mem_latency));
+  }
+  for (std::uint32_t n = 0; n < config_.nodes; ++n)
+    nic_.push_back(std::make_unique<BandwidthChannel>(
+        config_.link_bytes_per_cycle(), /*latency=*/0));
+  counters_.resize(cores);
+  hint_countdown_.assign(cores, config_.l3_hint_interval);
+}
+
+Addr MemorySystem::alloc(std::uint64_t bytes, std::uint64_t align) {
+  if (align == 0 || (align & (align - 1)) != 0)
+    throw std::invalid_argument("alloc: alignment must be a power of two");
+  next_alloc_ = (next_alloc_ + align - 1) & ~(align - 1);
+  const Addr base = next_alloc_;
+  next_alloc_ += bytes;
+  return base;
+}
+
+void MemorySystem::handle_private_eviction(CoreId core,
+                                           const Cache::AccessOutcome& out,
+                                           bool from_l1) {
+  // Private victims generate no bus traffic, but a dirty victim's data
+  // must survive in the level below so its eventual L3 eviction writes
+  // back to memory.
+  if (!out.evicted || !out.evicted_dirty) return;
+  const std::uint32_t socket = config_.socket_of(core);
+  if (from_l1 && l2_[core]->mark_dirty(out.evicted_line)) return;
+  (void)l3_[socket]->mark_dirty(out.evicted_line);
+}
+
+bool MemorySystem::back_invalidate(std::uint32_t socket, Addr line,
+                                   std::uint32_t sharers) {
+  const CoreId base = socket * config_.cores_per_socket;
+  bool dirty = false;
+  while (sharers != 0) {
+    const int bit = std::countr_zero(sharers);
+    sharers &= sharers - 1;
+    const CoreId core = base + static_cast<CoreId>(bit);
+    dirty |= l1_[core]->invalidate(line);
+    dirty |= l2_[core]->invalidate(line);
+  }
+  return dirty;
+}
+
+void MemorySystem::handle_l3_eviction(std::uint32_t socket, CoreId core,
+                                      const Cache::AccessOutcome& out,
+                                      Cycles now) {
+  if (!out.evicted) return;
+  bool dirty = out.evicted_dirty;
+  dirty |= back_invalidate(socket, out.evicted_line, out.evicted_sharers);
+  if (dirty) {
+    const auto wb_bytes = static_cast<std::uint64_t>(
+        config_.l3.line_bytes * config_.writeback_cost_factor);
+    if (wb_bytes > 0) mem_channel_[socket]->transfer_async(now, wb_bytes);
+    ++counters_[core].writebacks;
+  }
+}
+
+void MemorySystem::issue_prefetches(CoreId core, Addr miss_line, Cycles now) {
+  prefetch_buf_.clear();
+  prefetcher_[core]->on_miss(miss_line, prefetch_buf_);
+  if (prefetch_buf_.empty()) return;
+  const std::uint32_t socket = config_.socket_of(core);
+  Cache& l3 = *l3_[socket];
+  BandwidthChannel& bus = *mem_channel_[socket];
+  Counters& ctr = counters_[core];
+  for (Addr line : prefetch_buf_) {
+    if (l3.contains(line)) continue;
+    // Prefetches yield to demand traffic: drop them once the bus queue is
+    // deeper than roughly two DRAM latencies.
+    if (bus.saturated(now, 2 * config_.mem_latency)) {
+      ++ctr.prefetch_dropped;
+      continue;
+    }
+    bus.transfer_async(now, config_.l3.line_bytes);
+    const auto out = l3.access(line, static_cast<std::uint16_t>(core), 0, false);
+    handle_l3_eviction(socket, core, out, now);
+    ++ctr.prefetch_issued;
+    ctr.bytes_from_mem += config_.l3.line_bytes;
+  }
+}
+
+AccessResult MemorySystem::access(CoreId core, Addr addr, AccessKind kind,
+                                  Cycles now) {
+  const Addr line = addr >> line_shift_;
+  const bool is_store = kind == AccessKind::kStore;
+  const std::uint32_t socket = config_.socket_of(core);
+  Counters& ctr = counters_[core];
+  if (is_store)
+    ++ctr.stores;
+  else
+    ++ctr.loads;
+
+  // L1. Cache::access is probe-and-insert: a miss here already fills the
+  // line, so only the victim needs handling.
+  const auto l1_out =
+      l1_[core]->access(line, static_cast<std::uint16_t>(core), 0, is_store);
+  handle_private_eviction(core, l1_out, /*from_l1=*/true);
+  if (l1_out.hit) {
+    ++ctr.l1_hits;
+    if (config_.l3_hint_interval != 0 && --hint_countdown_[core] == 0) {
+      hint_countdown_[core] = config_.l3_hint_interval;
+      l3_[socket]->touch(line);
+    }
+    return {now + config_.l1_latency, Level::kL1};
+  }
+
+  // L2.
+  const auto l2_out =
+      l2_[core]->access(line, static_cast<std::uint16_t>(core), 0, is_store);
+  handle_private_eviction(core, l2_out, /*from_l1=*/false);
+  if (l2_out.hit) {
+    ++ctr.l2_hits;
+    if (config_.l3_hint_interval != 0 && --hint_countdown_[core] == 0) {
+      hint_countdown_[core] = config_.l3_hint_interval;
+      l3_[socket]->touch(line);
+    }
+    return {now + config_.l2_latency, Level::kL2};
+  }
+
+  // The prefetcher trains on L2 misses, like Intel's L2 streamer.
+  issue_prefetches(core, line, now);
+
+  // L3 (inclusive, shared per socket).
+  const std::uint32_t sharer_bit =
+      1u << (core % config_.cores_per_socket);
+  const auto out = l3_[socket]->access(line, static_cast<std::uint16_t>(core),
+                                       sharer_bit, is_store);
+  handle_l3_eviction(socket, core, out, now);
+  if (out.hit) {
+    ++ctr.l3_hits;
+    return {now + config_.l3_latency, Level::kL3};
+  }
+
+  // DRAM: queue on the socket's memory bus, then fill all levels.
+  const Cycles done =
+      mem_channel_[socket]->transfer(now, config_.l3.line_bytes);
+  ++ctr.mem_accesses;
+  ctr.bytes_from_mem += config_.l3.line_bytes;
+  return {done, Level::kMemory};
+}
+
+Cycles MemorySystem::access_batch(CoreId core, std::span<const Addr> addrs,
+                                  AccessKind kind, Cycles now) {
+  // Sliding window of outstanding miss completions (line-fill buffers).
+  std::vector<Cycles> window;
+  window.reserve(config_.max_outstanding_misses);
+  Cycles last = now;
+  for (Addr addr : addrs) {
+    Cycles issue = now;
+    if (window.size() == config_.max_outstanding_misses) {
+      const auto min_it = std::min_element(window.begin(), window.end());
+      issue = std::max(now, *min_it);
+      window.erase(min_it);
+    }
+    const AccessResult res = access(core, addr, kind, issue);
+    if (res.level == Level::kMemory) window.push_back(res.complete);
+    last = std::max(last, res.complete);
+  }
+  return last;
+}
+
+Cycles MemorySystem::link_transfer(std::uint32_t node_from,
+                                   std::uint32_t node_to, std::uint64_t bytes,
+                                   Cycles now) {
+  if (node_from == node_to)
+    throw std::invalid_argument("link_transfer within one node");
+  const Cycles sent = nic_[node_from]->transfer(now, bytes);
+  const Cycles received = nic_[node_to]->transfer(now, bytes);
+  return std::max(sent, received) + config_.link_latency;
+}
+
+std::uint64_t MemorySystem::l3_occupancy_bytes(CoreId core) const {
+  const std::uint32_t socket = config_.socket_of(core);
+  return l3_[socket]->occupancy_lines(static_cast<std::uint16_t>(core)) *
+         config_.l3.line_bytes;
+}
+
+void MemorySystem::reset_stats() {
+  for (auto& c : counters_) c = Counters{};
+  for (auto& ch : mem_channel_) ch->reset_stats();
+  for (auto& ch : nic_) ch->reset_stats();
+}
+
+void MemorySystem::flush_caches() {
+  for (auto& c : l1_) c->flush();
+  for (auto& c : l2_) c->flush();
+  for (auto& c : l3_) c->flush();
+}
+
+}  // namespace am::sim

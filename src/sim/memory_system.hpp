@@ -1,0 +1,95 @@
+#pragma once
+// The simulated machine: per-core private L1/L2 + stream prefetcher,
+// per-socket inclusive shared L3 and finite-bandwidth memory channel,
+// per-node interconnect NIC. This is the substitute for the paper's real
+// Xeon20MB platform — every workload and interference thread issues its
+// accesses through this component.
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/bandwidth.hpp"
+#include "sim/cache.hpp"
+#include "sim/counters.hpp"
+#include "sim/machine.hpp"
+#include "sim/prefetcher.hpp"
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+struct AccessResult {
+  Cycles complete = 0;  // absolute time the access finished
+  Level level = Level::kL1;
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(MachineConfig config);
+
+  /// One demand access issued at `now`; walks L1→L2→L3→DRAM, updates
+  /// counters of `core`, trains the prefetcher, maintains L3 inclusivity.
+  AccessResult access(CoreId core, Addr addr, AccessKind kind, Cycles now);
+
+  /// A batch of *independent* accesses issued together at `now`, modelling
+  /// memory-level parallelism: up to config.max_outstanding_misses DRAM
+  /// misses overlap; further misses queue on the completion of earlier
+  /// ones. Returns the completion time of the last access.
+  Cycles access_batch(CoreId core, std::span<const Addr> addrs,
+                      AccessKind kind, Cycles now);
+
+  /// Bump allocator for simulated buffers (64-byte aligned by default).
+  Addr alloc(std::uint64_t bytes, std::uint64_t align = 64);
+
+  /// Transfers `bytes` between two nodes' NICs; returns completion time.
+  /// Same-node calls are invalid (use cache traffic instead).
+  Cycles link_transfer(std::uint32_t node_from, std::uint32_t node_to,
+                       std::uint64_t bytes, Cycles now);
+
+  const MachineConfig& config() const { return config_; }
+  Counters& counters(CoreId core) { return counters_[core]; }
+  const Counters& counters(CoreId core) const { return counters_[core]; }
+
+  Cache& l3(std::uint32_t socket) { return *l3_[socket]; }
+  Cache& l1(CoreId core) { return *l1_[core]; }
+  Cache& l2(CoreId core) { return *l2_[core]; }
+  BandwidthChannel& mem_channel(std::uint32_t socket) {
+    return *mem_channel_[socket];
+  }
+  StreamPrefetcher& prefetcher(CoreId core) { return *prefetcher_[core]; }
+
+  /// Bytes of socket's L3 currently owned by lines `core` inserted.
+  std::uint64_t l3_occupancy_bytes(CoreId core) const;
+
+  /// Zeroes all counters and channel statistics; cache contents are kept
+  /// (used to measure steady state after warm-up).
+  void reset_stats();
+
+  void flush_caches();
+
+ private:
+  /// Propagates a dirty private victim's state down the hierarchy.
+  void handle_private_eviction(CoreId core, const Cache::AccessOutcome& out,
+                               bool from_l1);
+  /// Removes private copies; returns true if any copy was dirty.
+  bool back_invalidate(std::uint32_t socket, Addr line, std::uint32_t sharers);
+  /// Handles an L3 eviction: back-invalidation + a single write-back
+  /// transfer when any copy (L3 or private) was dirty.
+  void handle_l3_eviction(std::uint32_t socket, CoreId core,
+                          const Cache::AccessOutcome& out, Cycles now);
+  void issue_prefetches(CoreId core, Addr miss_line, Cycles now);
+
+  MachineConfig config_;
+  std::uint32_t line_shift_;
+  std::vector<std::unique_ptr<Cache>> l1_;  // per core
+  std::vector<std::unique_ptr<Cache>> l2_;  // per core
+  std::vector<std::unique_ptr<StreamPrefetcher>> prefetcher_;  // per core
+  std::vector<std::unique_ptr<Cache>> l3_;                     // per socket
+  std::vector<std::unique_ptr<BandwidthChannel>> mem_channel_;  // per socket
+  std::vector<std::unique_ptr<BandwidthChannel>> nic_;          // per node
+  std::vector<Counters> counters_;                              // per core
+  std::vector<std::uint32_t> hint_countdown_;                   // per core
+  std::vector<Addr> prefetch_buf_;
+  Addr next_alloc_ = 1 << 16;
+};
+
+}  // namespace am::sim

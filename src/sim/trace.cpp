@@ -1,0 +1,71 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace am::sim {
+
+std::vector<Addr> TraceBuffer::line_addresses(std::uint32_t line_bytes) const {
+  if (line_bytes == 0) throw std::invalid_argument("line_bytes == 0");
+  std::vector<Addr> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.addr / line_bytes);
+  return out;
+}
+
+bool TraceBuffer::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const std::uint64_t count = records_.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& r : records_) {
+    out.write(reinterpret_cast<const char*>(&r.addr), sizeof(r.addr));
+    const auto kind = static_cast<std::uint8_t>(r.kind);
+    out.write(reinterpret_cast<const char*>(&kind), sizeof(kind));
+    out.write(reinterpret_cast<const char*>(&r.compute_after),
+              sizeof(r.compute_after));
+  }
+  return static_cast<bool>(out);
+}
+
+TraceBuffer TraceBuffer::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace: " + path);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  TraceBuffer buf;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    std::uint8_t kind = 0;
+    in.read(reinterpret_cast<char*>(&r.addr), sizeof(r.addr));
+    in.read(reinterpret_cast<char*>(&kind), sizeof(kind));
+    in.read(reinterpret_cast<char*>(&r.compute_after),
+            sizeof(r.compute_after));
+    if (!in) throw std::runtime_error("truncated trace: " + path);
+    r.kind = static_cast<AccessKind>(kind);
+    buf.records_.push_back(r);
+  }
+  return buf;
+}
+
+TraceReplayAgent::TraceReplayAgent(const TraceBuffer& trace, std::string name,
+                                   std::int64_t offset)
+    : Agent(std::move(name)), trace_(&trace), offset_(offset) {}
+
+void TraceReplayAgent::step(AgentContext& ctx) {
+  constexpr std::size_t kChunk = 8;
+  const std::size_t end = std::min(cursor_ + kChunk, trace_->size());
+  for (std::size_t i = cursor_; i < end; ++i) {
+    const TraceRecord& r = (*trace_)[i];
+    const Addr addr = static_cast<Addr>(
+        static_cast<std::int64_t>(r.addr) + offset_);
+    if (r.kind == AccessKind::kStore)
+      ctx.store(addr);
+    else
+      ctx.load(addr);
+    if (r.compute_after != 0) ctx.compute(r.compute_after);
+  }
+  cursor_ = end;
+}
+
+}  // namespace am::sim

@@ -1,0 +1,73 @@
+#pragma once
+// Memory-access trace capture and replay. Traces let users (a) archive a
+// workload's access stream from one simulation and replay it against other
+// machine configurations, and (b) feed the exact stack-distance analysis in
+// model/stack_distance.hpp, which cross-validates the paper's analytic EHR
+// model against a ground-truth LRU miss-rate curve.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+struct TraceRecord {
+  Addr addr = 0;
+  AccessKind kind = AccessKind::kLoad;
+  /// Compute cycles spent after this access (preserves access frequency).
+  std::uint32_t compute_after = 0;
+};
+
+/// Growable in-memory trace with binary (de)serialization.
+class TraceBuffer {
+ public:
+  void append(Addr addr, AccessKind kind, std::uint32_t compute_after = 0) {
+    records_.push_back({addr, kind, compute_after});
+  }
+
+  /// Adds compute cycles to the most recent record (no-op when empty).
+  void add_compute_to_last(std::uint32_t cycles) {
+    if (!records_.empty()) records_.back().compute_after += cycles;
+  }
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const TraceRecord& operator[](std::size_t i) const { return records_[i]; }
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Line-granular addresses of the trace (for stack-distance analysis).
+  std::vector<Addr> line_addresses(std::uint32_t line_bytes) const;
+
+  /// Binary round-trip; format: u64 count, then packed records.
+  bool save(const std::string& path) const;
+  static TraceBuffer load(const std::string& path);  // throws on error
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Agent that replays a captured trace through the memory system,
+/// preserving the recorded compute gaps.
+class TraceReplayAgent final : public Agent {
+ public:
+  /// The trace's addresses are used verbatim: replay on a fresh engine
+  /// whose allocator has not handed out conflicting ranges, or rebase via
+  /// `offset` (added to every address).
+  TraceReplayAgent(const TraceBuffer& trace, std::string name = "replay",
+                   std::int64_t offset = 0);
+
+  void step(AgentContext& ctx) override;
+  bool finished() const override { return cursor_ >= trace_->size(); }
+
+  std::size_t replayed() const { return cursor_; }
+
+ private:
+  const TraceBuffer* trace_;
+  std::int64_t offset_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace am::sim

@@ -1,0 +1,31 @@
+#pragma once
+// Fundamental simulator types shared across the sim:: modules.
+#include <cstdint>
+
+namespace am::sim {
+
+/// Simulated byte address.
+using Addr = std::uint64_t;
+/// Simulated time in core clock cycles.
+using Cycles = std::uint64_t;
+
+/// Identifies a hardware core: node / socket / core-within-socket are
+/// flattened into a single global index by MachineConfig.
+using CoreId = std::uint32_t;
+
+enum class AccessKind : std::uint8_t { kLoad, kStore, kPrefetch };
+
+/// Which level of the hierarchy served an access.
+enum class Level : std::uint8_t { kL1, kL2, kL3, kMemory };
+
+inline const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kL1: return "L1";
+    case Level::kL2: return "L2";
+    case Level::kL3: return "L3";
+    case Level::kMemory: return "Memory";
+  }
+  return "?";
+}
+
+}  // namespace am::sim

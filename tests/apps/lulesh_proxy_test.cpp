@@ -1,0 +1,114 @@
+#include "apps/lulesh_proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/engine.hpp"
+
+namespace am::apps {
+namespace {
+
+using sim::MachineConfig;
+
+MachineConfig machine(std::uint32_t nodes = 2) {
+  return MachineConfig::xeon20mb_scaled(32, nodes);
+}
+
+struct Job {
+  explicit Job(std::uint32_t nodes, std::uint32_t ranks,
+               std::uint32_t per_socket, LuleshConfig cfg)
+      : engine(machine(nodes)),
+        mapping(engine.config(), ranks, per_socket),
+        comm(engine, mapping) {
+    for (std::uint32_t r = 0; r < ranks; ++r)
+      agents.push_back(static_cast<LuleshProxyAgent*>(
+          &engine.agent(engine.add_agent(
+              std::make_unique<LuleshProxyAgent>(engine, comm, mapping, r,
+                                                 cfg),
+              mapping.placement(r).core))));
+  }
+  sim::Engine engine;
+  minimpi::Mapping mapping;
+  minimpi::Communicator comm;
+  std::vector<LuleshProxyAgent*> agents;
+};
+
+LuleshConfig small_cfg(std::uint32_t edge = 6) {
+  LuleshConfig c;
+  c.edge = edge;
+  c.steps = 2;
+  return c;
+}
+
+TEST(LuleshConfig, WorkingSetMatchesPaperArithmetic) {
+  LuleshConfig c;
+  c.edge = 22;
+  // 22^3 elements * 40 fields * 8 B ~= 3.4 MB (paper: 3.5-7 MB measured).
+  EXPECT_NEAR(static_cast<double>(c.working_set_bytes()), 3.4e6, 0.2e6);
+  c.edge = 36;
+  // 36^3 * 320 B ~= 14.9 MB (paper: "more than 15MB of cache each").
+  EXPECT_NEAR(static_cast<double>(c.working_set_bytes()), 14.9e6, 0.5e6);
+}
+
+TEST(LuleshConfig, PaperScalingPreservesRatio) {
+  const auto c = LuleshConfig::paper(22, 8);
+  EXPECT_EQ(c.edge, 11u);
+  EXPECT_THROW(LuleshConfig::paper(22, 0), std::invalid_argument);
+}
+
+TEST(LuleshProxy, EightRankCubeRuns) {
+  Job job(2, 8, 2, small_cfg());
+  job.engine.run();
+  for (auto* a : job.agents) {
+    EXPECT_TRUE(a->finished());
+    EXPECT_EQ(a->steps_done(), 2u);
+  }
+}
+
+TEST(LuleshProxy, CornerAndCenterNeighbourCounts) {
+  Job job(2, 8, 2, small_cfg());
+  // In a 2x2x2 grid every rank is a corner with exactly 3 neighbours.
+  for (auto* a : job.agents) EXPECT_EQ(a->neighbours().size(), 3u);
+}
+
+TEST(LuleshProxy, RejectsNonCubicRankCount) {
+  sim::Engine eng(machine());
+  minimpi::Mapping map(eng.config(), 6, 2);
+  minimpi::Communicator comm(eng, map);
+  EXPECT_THROW(LuleshProxyAgent(eng, comm, map, 0, small_cfg()),
+               std::invalid_argument);
+}
+
+TEST(LuleshProxy, BiggerCubesTakeLonger) {
+  Job small(2, 8, 2, small_cfg(5));
+  Job big(2, 8, 2, small_cfg(10));
+  EXPECT_GT(big.engine.run(), small.engine.run() * 2);
+}
+
+TEST(LuleshProxy, HaloBytesScaleWithFaceArea) {
+  LuleshConfig c;
+  c.edge = 10;
+  const auto small_halo = c.halo_bytes();
+  c.edge = 20;
+  EXPECT_EQ(c.halo_bytes(), small_halo * 4);
+}
+
+TEST(LuleshProxy, GeneratesCommunication) {
+  Job job(2, 8, 2, small_cfg());
+  job.engine.run();
+  // 8 ranks x 3 neighbours x 2 steps messages.
+  EXPECT_GE(job.comm.total_bytes_sent(),
+            8u * 3 * 2 * small_cfg().halo_bytes());
+}
+
+TEST(LuleshProxy, DeterministicRuntime) {
+  auto run = [] {
+    Job job(2, 8, 2, small_cfg());
+    return job.engine.run();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace am::apps

@@ -1,0 +1,114 @@
+#include "apps/mcb_proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/engine.hpp"
+
+namespace am::apps {
+namespace {
+
+using sim::MachineConfig;
+
+MachineConfig machine(std::uint32_t nodes = 1) {
+  return MachineConfig::xeon20mb_scaled(32, nodes);
+}
+
+struct Job {
+  explicit Job(std::uint32_t nodes, std::uint32_t ranks,
+               std::uint32_t per_socket, McbConfig cfg)
+      : engine(machine(nodes)),
+        mapping(engine.config(), ranks, per_socket),
+        comm(engine, mapping) {
+    for (std::uint32_t r = 0; r < ranks; ++r)
+      agents.push_back(static_cast<McbProxyAgent*>(
+          &engine.agent(engine.add_agent(
+              std::make_unique<McbProxyAgent>(engine, comm, mapping, r, cfg),
+              mapping.placement(r).core))));
+  }
+  sim::Engine engine;
+  minimpi::Mapping mapping;
+  minimpi::Communicator comm;
+  std::vector<McbProxyAgent*> agents;
+};
+
+McbConfig small_cfg(std::uint32_t particles = 1000) {
+  auto c = McbConfig::paper(particles * 32, 32);  // undo scale for clarity
+  c.steps = 2;
+  return c;
+}
+
+TEST(McbConfig, PaperScalingShrinksFootprints) {
+  const auto c = McbConfig::paper(20'000, 8);
+  EXPECT_EQ(c.particles, 2500u);
+  EXPECT_EQ(c.xs_table_bytes, 3584u * 1024 / 8);
+  EXPECT_EQ(c.tally_bytes, 2560u * 1024 / 8);
+  EXPECT_THROW(McbConfig::paper(1000, 0), std::invalid_argument);
+}
+
+TEST(McbConfig, OpsPerParticleGrowsWithProblemSize) {
+  auto base = McbConfig::paper(20'000, 1);
+  auto big = McbConfig::paper(260'000, 1);
+  big.reference_particles = base.reference_particles;
+  EXPECT_GT(big.ops_per_particle(), base.ops_per_particle());
+}
+
+TEST(McbConfig, CommVolumeSaturatesAtCap) {
+  McbConfig c;
+  c.particles = 1'000'000;  // way beyond the cap
+  EXPECT_EQ(c.comm_bytes_per_step(), c.comm_cap_bytes);
+  c.particles = 1000;
+  EXPECT_LT(c.comm_bytes_per_step(), c.comm_cap_bytes);
+}
+
+TEST(McbProxy, RunsAllStepsOnTwoRanks) {
+  Job job(1, 2, 2, small_cfg());
+  job.engine.run();
+  for (auto* a : job.agents) {
+    EXPECT_TRUE(a->finished());
+    EXPECT_EQ(a->steps_done(), 2u);
+  }
+}
+
+TEST(McbProxy, RunsAcrossSocketsAndNodes) {
+  Job job(2, 4, 1, small_cfg());
+  job.engine.run();
+  for (auto* a : job.agents) EXPECT_TRUE(a->finished());
+  EXPECT_GT(job.comm.total_bytes_sent(), 0u);
+}
+
+TEST(McbProxy, GeneratesMemoryTraffic) {
+  Job job(1, 2, 2, small_cfg());
+  job.engine.run();
+  const auto& ctr = job.engine.agent_counters(0);
+  EXPECT_GT(ctr.loads, 1000u);
+  EXPECT_GT(ctr.stores, 100u);
+}
+
+TEST(McbProxy, MoreParticlesTakeLonger) {
+  Job small(1, 2, 2, small_cfg(500));
+  Job big(1, 2, 2, small_cfg(2000));
+  const auto t_small = small.engine.run();
+  const auto t_big = big.engine.run();
+  EXPECT_GT(t_big, t_small * 2);
+}
+
+TEST(McbProxy, RequiresTwoRanks) {
+  sim::Engine eng(machine());
+  minimpi::Mapping map(eng.config(), 1, 1);
+  minimpi::Communicator comm(eng, map);
+  EXPECT_THROW(McbProxyAgent(eng, comm, map, 0, small_cfg()),
+               std::invalid_argument);
+}
+
+TEST(McbProxy, DeterministicRuntime) {
+  auto run = [] {
+    Job job(1, 2, 2, small_cfg());
+    return job.engine.run();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace am::apps

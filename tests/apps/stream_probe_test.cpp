@@ -1,0 +1,74 @@
+#include "apps/stream_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/engine.hpp"
+
+namespace am::apps {
+namespace {
+
+using sim::MachineConfig;
+
+TEST(StreamProbe, MeasuresNearPeakBandwidth) {
+  auto m = MachineConfig::xeon20mb_scaled(16);
+  sim::Engine eng(m);
+  StreamProbeConfig cfg;
+  cfg.array_bytes = m.l3.size_bytes * 2;
+  cfg.passes = 2;
+  eng.add_agent(std::make_unique<StreamProbeAgent>(eng.memory(), cfg), 0);
+  const auto end = eng.run();
+  const double seconds = m.cycles_to_seconds(end);
+  const double bw =
+      static_cast<double>(eng.memory().mem_channel(0).total_bytes()) / seconds;
+  // The probe should reach a large fraction of the configured 17 GB/s
+  // (it is the calibration instrument for the paper's STREAM figure).
+  EXPECT_GT(bw, 0.6 * m.mem_bandwidth_bytes_per_sec);
+  EXPECT_LE(bw, 1.05 * m.mem_bandwidth_bytes_per_sec);
+}
+
+TEST(StreamProbe, PayloadAccounting) {
+  auto m = MachineConfig::xeon20mb_scaled(64);
+  sim::Engine eng(m);
+  StreamProbeConfig cfg;
+  cfg.array_bytes = 1 << 20;
+  cfg.passes = 3;
+  auto probe = std::make_unique<StreamProbeAgent>(eng.memory(), cfg);
+  auto* raw = probe.get();
+  eng.add_agent(std::move(probe), 0);
+  eng.run();
+  EXPECT_EQ(raw->payload_bytes(), 3ull * 3 * (1 << 20));
+  EXPECT_TRUE(raw->finished());
+}
+
+TEST(StreamProbe, PrefetcherRaisesBandwidth) {
+  auto run = [](bool pf) {
+    auto m = MachineConfig::xeon20mb_scaled(32);
+    m.prefetcher.enabled = pf;
+    sim::Engine eng(m);
+    StreamProbeConfig cfg;
+    cfg.array_bytes = m.l3.size_bytes * 2;
+    eng.add_agent(std::make_unique<StreamProbeAgent>(eng.memory(), cfg), 0);
+    const auto end = eng.run();
+    return static_cast<double>(
+               eng.memory().mem_channel(0).total_bytes()) /
+           m.cycles_to_seconds(end);
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST(StreamProbe, RejectsDegenerateConfig) {
+  auto m = MachineConfig::xeon20mb_scaled(64);
+  sim::Engine eng(m);
+  StreamProbeConfig bad;
+  bad.array_bytes = 1;
+  EXPECT_THROW(StreamProbeAgent(eng.memory(), bad), std::invalid_argument);
+  StreamProbeConfig zero_pass;
+  zero_pass.passes = 0;
+  EXPECT_THROW(StreamProbeAgent(eng.memory(), zero_pass),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace am::apps

@@ -1,0 +1,65 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace am {
+namespace {
+
+Cli make(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  auto cli = make({"--scale=8", "--name=foo"});
+  EXPECT_EQ(cli.get_int("scale", 0), 8);
+  EXPECT_EQ(cli.get("name", ""), "foo");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  auto cli = make({"--scale", "16"});
+  EXPECT_EQ(cli.get_int("scale", 0), 16);
+}
+
+TEST(Cli, BooleanFlag) {
+  auto cli = make({"--full"});
+  EXPECT_TRUE(cli.has("full"));
+  EXPECT_TRUE(cli.get_bool("full", false));
+  EXPECT_FALSE(cli.get_bool("absent", false));
+}
+
+TEST(Cli, Defaults) {
+  auto cli = make({});
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(cli.get("s", "d"), "d");
+}
+
+TEST(Cli, Positional) {
+  auto cli = make({"input.txt", "--flag", "output.txt"});
+  // "--flag output.txt" consumes output.txt as the flag value.
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.get("flag", ""), "output.txt");
+}
+
+TEST(Cli, UnusedReportsUnqueriedFlags) {
+  auto cli = make({"--used=1", "--typo=2"});
+  (void)cli.get_int("used", 0);
+  const auto unused = cli.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, DoubleParsing) {
+  auto cli = make({"--x=3.25"});
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 3.25);
+}
+
+}  // namespace
+}  // namespace am

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "interfere/bwthr_agent.hpp"
+#include "interfere/csthr_agent.hpp"
+#include "sim/engine.hpp"
+
+namespace am::interfere {
+namespace {
+
+using sim::Cycles;
+using sim::MachineConfig;
+
+MachineConfig machine() { return MachineConfig::xeon20mb_scaled(16); }
+
+/// Finishes after a fixed number of engine cycles of pure compute.
+class TimerAgent final : public sim::Agent {
+ public:
+  explicit TimerAgent(Cycles duration) : sim::Agent("timer"), left_(duration) {}
+  void step(sim::AgentContext& ctx) override {
+    const Cycles chunk = std::min<Cycles>(left_, 10000);
+    ctx.compute(chunk);
+    left_ -= chunk;
+  }
+  bool finished() const override { return left_ == 0; }
+
+ private:
+  Cycles left_;
+};
+
+BWThrConfig scaled_bw() {
+  BWThrConfig c;
+  c.buffer_bytes = 520 * 1024 / 16;
+  return c;
+}
+
+CSThrConfig scaled_cs() {
+  CSThrConfig c;
+  c.buffer_bytes = 4 * 1024 * 1024 / 16;  // 256 KB vs 1.25 MB L3
+  return c;
+}
+
+TEST(CSThrAgent, OccupiesRoughlyItsBufferInL3) {
+  sim::Engine eng(machine());
+  eng.add_agent(std::make_unique<TimerAgent>(30'000'000), 0);
+  auto cs = std::make_unique<CSThrAgent>(eng.memory(), scaled_cs());
+  eng.add_agent(std::move(cs), 1, /*primary=*/false);
+  eng.run();
+  const auto occ = eng.memory().l3_occupancy_bytes(1);
+  const auto buf = scaled_cs().buffer_bytes;
+  // After tens of millions of cycles the CSThr has touched its whole buffer
+  // and, with no competition, nearly all of it sits in the L3.
+  EXPECT_GT(occ, buf * 8 / 10);
+  EXPECT_LE(occ, buf + buf / 8);
+}
+
+TEST(CSThrAgent, MostlyHitsInL3NotMemory) {
+  sim::Engine eng(machine());
+  eng.add_agent(std::make_unique<TimerAgent>(30'000'000), 0);
+  eng.add_agent(std::make_unique<CSThrAgent>(eng.memory(), scaled_cs()), 1,
+                false);
+  eng.run();
+  const auto& ctr = eng.agent_counters(1);
+  // Steady state: private caches are too small, shared L3 holds the buffer.
+  EXPECT_GT(ctr.l3_hits, ctr.mem_accesses * 5);
+}
+
+TEST(CSThrAgent, UsesLittleMemoryBandwidth) {
+  sim::Engine eng(machine());
+  eng.add_agent(std::make_unique<TimerAgent>(30'000'000), 0);
+  eng.add_agent(std::make_unique<CSThrAgent>(eng.memory(), scaled_cs()), 1,
+                false);
+  const Cycles end = eng.run();
+  const auto& ctr = eng.agent_counters(1);
+  const double seconds = eng.seconds(end);
+  const double bw = static_cast<double>(ctr.bytes_from_mem) / seconds;
+  // Paper III-D: "a single CSThr ... utilizes very little memory bandwidth".
+  EXPECT_LT(bw, 1.0e9);
+}
+
+TEST(BWThrAgent, SaturatesMissesAndUsesBandwidth) {
+  sim::Engine eng(machine());
+  eng.add_agent(std::make_unique<TimerAgent>(30'000'000), 0);
+  eng.add_agent(std::make_unique<BWThrAgent>(eng.memory(), scaled_bw()), 1,
+                false);
+  const Cycles end = eng.run();
+  const auto& ctr = eng.agent_counters(1);
+  const double seconds = eng.seconds(end);
+  const double bw = static_cast<double>(ctr.bytes_from_mem) / seconds;
+  // A single BWThr should draw GB/s-scale bandwidth (paper: 2.8 GB/s).
+  EXPECT_GT(bw, 1.0e9);
+  // Every load targets a fresh line (the paired stores of the ++ hit the
+  // just-filled L1): essentially all lines must come from DRAM, either as
+  // demand misses or as prefetch fills.
+  EXPECT_GT(static_cast<double>(ctr.mem_accesses + ctr.prefetch_issued),
+            0.9 * static_cast<double>(ctr.loads));
+}
+
+TEST(BWThrAgent, IterationCounterAdvances) {
+  sim::Engine eng(machine());
+  eng.add_agent(std::make_unique<TimerAgent>(1'000'000), 0);
+  auto bw = std::make_unique<BWThrAgent>(eng.memory(), scaled_bw());
+  auto* raw = bw.get();
+  eng.add_agent(std::move(bw), 1, false);
+  eng.run();
+  EXPECT_GT(raw->iterations(), 100u);
+}
+
+TEST(BWThrAgent, FootprintExceedsL3) {
+  // The paper's 44 x 520 KB footprint exceeds the 20 MB L3; the scaled
+  // configuration must preserve that property.
+  const auto cfg = scaled_bw();
+  const auto m = machine();
+  EXPECT_GT(cfg.buffer_bytes * cfg.num_buffers, m.l3.size_bytes);
+}
+
+TEST(InterferenceAgents, RejectDegenerateConfigs) {
+  sim::Engine eng(machine());
+  BWThrConfig bad_bw;
+  bad_bw.buffer_bytes = 1;
+  EXPECT_THROW(BWThrAgent(eng.memory(), bad_bw), std::invalid_argument);
+  CSThrConfig bad_cs;
+  bad_cs.batch_size = 0;
+  EXPECT_THROW(CSThrAgent(eng.memory(), bad_cs), std::invalid_argument);
+}
+
+TEST(CSThrAgent, TwoThreadsOccupyTwiceAsMuch) {
+  sim::Engine eng(machine());
+  eng.add_agent(std::make_unique<TimerAgent>(30'000'000), 0);
+  eng.add_agent(std::make_unique<CSThrAgent>(eng.memory(), scaled_cs()), 1,
+                false);
+  eng.add_agent(std::make_unique<CSThrAgent>(eng.memory(), scaled_cs()), 2,
+                false);
+  eng.run();
+  const auto occ1 = eng.memory().l3_occupancy_bytes(1);
+  const auto occ2 = eng.memory().l3_occupancy_bytes(2);
+  const auto buf = scaled_cs().buffer_bytes;
+  EXPECT_GT(occ1 + occ2, buf * 2 * 7 / 10);
+}
+
+}  // namespace
+}  // namespace am::interfere

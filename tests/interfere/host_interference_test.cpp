@@ -1,0 +1,98 @@
+#include "interfere/host_interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "interfere/host_identity.hpp"
+
+namespace am::interfere {
+namespace {
+
+// Host threads use small buffers here: these are lifecycle tests, not
+// bandwidth measurements (we are likely running in a shared container).
+
+TEST(HostIdentity, IsIdentity) {
+  EXPECT_EQ(host_identity(0), 0);
+  EXPECT_EQ(host_identity(-5), -5);
+  EXPECT_EQ(host_identity(123456789), 123456789);
+}
+
+TEST(HostBWThr, StartsIteratesStops) {
+  HostBWThr thr(/*buffer_bytes=*/64 * 1024, /*num_buffers=*/4);
+  thr.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  thr.stop();
+  EXPECT_GT(thr.iterations(), 0u);
+  EXPECT_FALSE(thr.running());
+}
+
+TEST(HostBWThr, FootprintMatchesGeometry) {
+  HostBWThr thr(128 * 1024, 3);
+  EXPECT_EQ(thr.footprint_bytes(), 3u * 128 * 1024);
+}
+
+TEST(HostCSThr, StartsIteratesStops) {
+  HostCSThr thr(/*buffer_bytes=*/256 * 1024);
+  thr.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  thr.stop();
+  EXPECT_GT(thr.iterations(), 1000u);
+}
+
+TEST(HostCSThr, StopIsIdempotent) {
+  HostCSThr thr(64 * 1024);
+  thr.start();
+  thr.stop();
+  thr.stop();
+  SUCCEED();
+}
+
+TEST(HostInterference, DoubleStartThrows) {
+  HostCSThr thr(64 * 1024);
+  thr.start();
+  EXPECT_THROW(thr.start(), std::logic_error);
+  thr.stop();
+}
+
+TEST(HostInterference, RestartAfterStop) {
+  HostCSThr thr(64 * 1024);
+  thr.start();
+  thr.stop();
+  const auto first = thr.iterations();
+  thr.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  thr.stop();
+  EXPECT_GE(thr.iterations(), first);
+}
+
+TEST(HostInterference, PinnedStartWorksOrDegradesGracefully) {
+  // Pinning to CPU 0 may be refused in containers; either way the thread
+  // must run and stop cleanly.
+  HostCSThr thr(64 * 1024);
+  thr.start(/*cpu=*/0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  thr.stop();
+  EXPECT_GT(thr.iterations(), 0u);
+}
+
+TEST(HostInterference, RejectsDegenerateBuffers) {
+  EXPECT_THROW(HostBWThr(1, 1), std::invalid_argument);
+  EXPECT_THROW(HostCSThr(1), std::invalid_argument);
+}
+
+TEST(HostInterferenceFleet, StartsAndStopsMany) {
+  {
+    HostInterferenceFleet<HostCSThr> fleet(3, /*cpus=*/{},
+                                           /*buffer_bytes=*/64 * 1024);
+    EXPECT_EQ(fleet.size(), 3u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    for (std::size_t i = 0; i < fleet.size(); ++i)
+      EXPECT_TRUE(fleet.at(i).running());
+  }  // destructor stops all
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace am::interfere

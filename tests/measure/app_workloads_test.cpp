@@ -1,0 +1,73 @@
+#include "measure/app_workloads.hpp"
+
+#include <gtest/gtest.h>
+
+namespace am::measure {
+namespace {
+
+using sim::MachineConfig;
+
+constexpr std::uint32_t kScale = 32;
+
+TEST(AppWorkloads, McbFactoryBuildsRanksAndInterferenceSlots) {
+  const auto m = MachineConfig::xeon20mb_scaled(kScale, /*nodes=*/2);
+  sim::Engine engine(m);
+  auto cfg = apps::McbConfig::paper(20'000, kScale);
+  cfg.steps = 1;
+  const auto info = make_mcb_workload(8, 2, cfg)(engine);
+  EXPECT_EQ(info.primary_agents.size(), 8u);
+  ASSERT_EQ(info.interference_cores.size(), 4u);  // 4 sockets used
+  for (const auto& group : info.interference_cores)
+    EXPECT_EQ(group.size(), 6u);  // 8 cores - 2 ranks
+  EXPECT_EQ(engine.agent_count(), 8u);
+}
+
+TEST(AppWorkloads, LuleshFactoryBuildsCubicGrid) {
+  const auto m = MachineConfig::xeon20mb_scaled(kScale, /*nodes=*/2);
+  sim::Engine engine(m);
+  auto cfg = apps::LuleshConfig::paper(22, kScale);
+  cfg.steps = 1;
+  const auto info = make_lulesh_workload(8, 2, cfg)(engine);
+  EXPECT_EQ(info.primary_agents.size(), 8u);
+}
+
+TEST(AppWorkloads, SyntheticFactoryUsesCoreZero) {
+  const auto m = MachineConfig::xeon20mb_scaled(kScale);
+  sim::Engine engine(m);
+  const std::uint64_t elements = 100'000;
+  const auto info = make_synthetic_workload(apps::SyntheticConfig{
+      model::AccessDistribution::uniform(elements, "Uni"), 4, 1, 0,
+      10'000})(engine);
+  ASSERT_EQ(info.primary_agents.size(), 1u);
+  EXPECT_EQ(engine.agent_core(info.primary_agents[0]), 0u);
+  ASSERT_EQ(info.interference_cores.size(), 1u);
+  EXPECT_EQ(info.interference_cores[0].size(), m.cores_per_socket - 1);
+}
+
+TEST(AppWorkloads, FactoryIsReusableAcrossEngines) {
+  const auto m = MachineConfig::xeon20mb_scaled(kScale, 2);
+  auto cfg = apps::McbConfig::paper(20'000, kScale);
+  cfg.steps = 1;
+  const auto factory = make_mcb_workload(4, 2, cfg);
+  sim::Engine a(m), b(m);
+  EXPECT_EQ(factory(a).primary_agents.size(), 4u);
+  EXPECT_EQ(factory(b).primary_agents.size(), 4u);
+  a.run();
+  b.run();
+  EXPECT_EQ(a.agent_clock(0), b.agent_clock(0));  // deterministic
+}
+
+TEST(AppWorkloads, McbWorkloadRunsUnderBackend) {
+  const auto m = MachineConfig::xeon20mb_scaled(kScale, 2);
+  SimBackend backend(m);
+  auto cfg = apps::McbConfig::paper(20'000, kScale);
+  cfg.steps = 1;
+  const auto result = backend.run(make_mcb_workload(4, 2, cfg),
+                                  InterferenceSpec::none());
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.app.loads, 1000u);
+  EXPECT_FALSE(result.timed_out);
+}
+
+}  // namespace
+}  // namespace am::measure

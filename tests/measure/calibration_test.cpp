@@ -1,0 +1,91 @@
+#include "measure/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace am::measure {
+namespace {
+
+using sim::MachineConfig;
+
+constexpr std::uint32_t kScale = 32;
+
+MachineConfig machine() { return MachineConfig::xeon20mb_scaled(kScale); }
+
+interfere::CSThrConfig cs_cfg() {
+  interfere::CSThrConfig c;
+  c.buffer_bytes = 4ull * 1024 * 1024 / kScale;
+  return c;
+}
+
+interfere::BWThrConfig bw_cfg() {
+  interfere::BWThrConfig c;
+  c.buffer_bytes = 520ull * 1024 / kScale;
+  return c;
+}
+
+CalibrationOptions quick_opts(std::uint32_t max_threads) {
+  CalibrationOptions o;
+  o.max_threads = max_threads;
+  o.buffer_to_l3_ratios = {2.5};
+  o.probe_distributions = {9};  // Uni only: fastest, tightest inversion
+  o.accesses_per_probe = 150'000;
+  return o;
+}
+
+TEST(CapacityCalibration, NoInterferenceRecoversFullL3) {
+  const auto calib = calibrate_capacity(machine(), cs_cfg(), quick_opts(0));
+  ASSERT_EQ(calib.available_bytes.size(), 1u);
+  // Paper Fig. 6 "No Interference": estimate approaches the true 20 MB
+  // (scaled); allow the fully-associative model's small bias.
+  EXPECT_NEAR(calib.available_bytes[0],
+              static_cast<double>(machine().l3.size_bytes),
+              0.25 * machine().l3.size_bytes);
+}
+
+TEST(CapacityCalibration, EffectiveCapacityShrinksMonotonically) {
+  const auto calib = calibrate_capacity(machine(), cs_cfg(), quick_opts(3));
+  ASSERT_EQ(calib.available_bytes.size(), 4u);
+  for (std::size_t k = 1; k < calib.available_bytes.size(); ++k)
+    EXPECT_LT(calib.available_bytes[k], calib.available_bytes[k - 1])
+        << "k=" << k;
+}
+
+TEST(CapacityCalibration, OneThreadDeniesRoughlyItsBuffer) {
+  const auto calib = calibrate_capacity(machine(), cs_cfg(), quick_opts(1));
+  const double denied = calib.available_bytes[0] - calib.available_bytes[1];
+  // Paper: 1 CSThr with a 4 MB buffer leaves ~15 MB of 20 (denies 4-6 MB).
+  EXPECT_GT(denied, 0.5 * cs_cfg().buffer_bytes);
+  EXPECT_LT(denied, 2.5 * cs_cfg().buffer_bytes);
+}
+
+TEST(BandwidthCalibration, PeakNearConfiguredBandwidth) {
+  const auto calib = calibrate_bandwidth(machine(), bw_cfg(), 0);
+  EXPECT_GT(calib.peak_bytes_per_sec,
+            0.6 * machine().mem_bandwidth_bytes_per_sec);
+  EXPECT_LE(calib.peak_bytes_per_sec,
+            1.05 * machine().mem_bandwidth_bytes_per_sec);
+}
+
+TEST(BandwidthCalibration, UsageGrowsWithThreadCount) {
+  const auto calib = calibrate_bandwidth(machine(), bw_cfg(), 3);
+  ASSERT_EQ(calib.used_bytes_per_sec.size(), 4u);
+  EXPECT_LT(calib.used_bytes_per_sec[0], 1e8);  // idle socket
+  for (std::size_t k = 1; k < calib.used_bytes_per_sec.size(); ++k)
+    EXPECT_GT(calib.used_bytes_per_sec[k],
+              calib.used_bytes_per_sec[k - 1] * 1.2)
+        << "k=" << k;
+}
+
+TEST(BandwidthCalibration, AvailableIsPeakMinusUsed) {
+  const auto calib = calibrate_bandwidth(machine(), bw_cfg(), 1);
+  EXPECT_NEAR(calib.available(1),
+              calib.peak_bytes_per_sec - calib.used_bytes_per_sec[1], 1e-6);
+}
+
+TEST(BandwidthCalibration, RejectsTooManyThreads) {
+  EXPECT_THROW(calibrate_bandwidth(machine(), bw_cfg(), 8),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace am::measure

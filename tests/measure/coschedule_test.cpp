@@ -1,0 +1,113 @@
+#include "measure/coschedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace am::measure {
+namespace {
+
+SweepResult make_capacity_sweep(double baseline, double degraded_at_small) {
+  SweepResult s;
+  s.resource = Resource::kCacheStorage;
+  s.points = {{0, baseline, 20e6},
+              {1, baseline * 1.01, 15e6},
+              {2, baseline * 1.02, 12e6},
+              {3, baseline * 1.04, 7e6},
+              {4, degraded_at_small, 5e6}};
+  return s;
+}
+
+SweepResult make_bandwidth_sweep(double baseline) {
+  SweepResult s;
+  s.resource = Resource::kBandwidth;
+  // Bandwidth-insensitive within tolerance at every level.
+  s.points = {{0, baseline, 17e9},
+              {1, baseline * 1.01, 14.2e9},
+              {2, baseline * 1.02, 11.4e9}};
+  return s;
+}
+
+AppProfile small_app() {
+  // Uses <= 6 MB of cache, insensitive to bandwidth.
+  return AppProfile::from_sweeps("small", make_capacity_sweep(10.0, 12.5),
+                                 make_bandwidth_sweep(10.0), 1);
+}
+
+AppProfile hungry_app() {
+  // Degrades early on capacity: needs > 12 MB.
+  SweepResult cap;
+  cap.resource = Resource::kCacheStorage;
+  cap.points = {{0, 10.0, 20e6},
+                {1, 10.2, 15e6},
+                {2, 11.5, 12e6},
+                {3, 13.0, 7e6},
+                {4, 15.0, 5e6}};
+  return AppProfile::from_sweeps("hungry", cap, make_bandwidth_sweep(10.0),
+                                 1);
+}
+
+TEST(AppProfile, FromSweepsDerivesBounds) {
+  const auto p = small_app();
+  EXPECT_EQ(p.name, "small");
+  EXPECT_TRUE(p.capacity.degraded_at_any_level);
+  EXPECT_DOUBLE_EQ(p.capacity.upper, 7e6);   // last OK level
+  EXPECT_DOUBLE_EQ(p.capacity.lower, 5e6);   // first degraded level
+  ASSERT_TRUE(p.capacity_curve.has_value());
+}
+
+TEST(AppProfile, FromSweepsRejectsWrongResources) {
+  EXPECT_THROW(AppProfile::from_sweeps("x", make_bandwidth_sweep(1.0),
+                                       make_bandwidth_sweep(1.0), 1),
+               std::invalid_argument);
+}
+
+TEST(CoScheduleAdvisor, TwoSmallAppsAreSafe) {
+  const CoScheduleAdvisor advisor(20e6, 17e9);
+  const auto verdict = advisor.advise(small_app(), small_app());
+  EXPECT_FALSE(verdict.capacity_oversubscribed);  // 7 + 7 < 20
+  EXPECT_TRUE(verdict.safe(0.06));
+  EXPECT_NEAR(verdict.slowdown_a, 1.0, 0.06);
+}
+
+TEST(CoScheduleAdvisor, HungryPairOversubscribes) {
+  const CoScheduleAdvisor advisor(20e6, 17e9);
+  const auto verdict = advisor.advise(hungry_app(), hungry_app());
+  // Each wants > 12 MB: 24+ MB demand on a 20 MB socket.
+  EXPECT_TRUE(verdict.capacity_oversubscribed);
+  EXPECT_GT(verdict.worst_slowdown(), 1.05);
+  EXPECT_FALSE(verdict.safe(0.05));
+  EXPECT_NEAR(verdict.capacity_a + verdict.capacity_b, 20e6, 1.0);
+}
+
+TEST(CoScheduleAdvisor, AsymmetricSplitFollowsDemand) {
+  const CoScheduleAdvisor advisor(20e6, 17e9);
+  const auto verdict = advisor.advise(hungry_app(), small_app());
+  // The hungry app demands more, so it receives the larger share.
+  EXPECT_GT(verdict.capacity_a, verdict.capacity_b);
+}
+
+TEST(CoScheduleAdvisor, SlowdownsComeFromCurves) {
+  const CoScheduleAdvisor advisor(20e6, 17e9);
+  const auto hungry = hungry_app();
+  const auto verdict = advisor.advise(hungry, hungry);
+  // The verdict's slowdown must equal the curve's prediction at the share.
+  EXPECT_NEAR(verdict.slowdown_a,
+              hungry.capacity_curve->predict_slowdown(verdict.capacity_a),
+              1e-9);
+}
+
+TEST(CoScheduleAdvisor, RejectsNonPositiveResources) {
+  EXPECT_THROW(CoScheduleAdvisor(0.0, 17e9), std::invalid_argument);
+  EXPECT_THROW(CoScheduleAdvisor(20e6, -1.0), std::invalid_argument);
+}
+
+TEST(CoScheduleVerdict, WorstSlowdownAndSafe) {
+  CoScheduleVerdict v;
+  v.slowdown_a = 1.02;
+  v.slowdown_b = 1.30;
+  EXPECT_DOUBLE_EQ(v.worst_slowdown(), 1.30);
+  EXPECT_FALSE(v.safe(0.05));
+  EXPECT_TRUE(v.safe(0.35));
+}
+
+}  // namespace
+}  // namespace am::measure

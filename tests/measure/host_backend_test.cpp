@@ -1,0 +1,73 @@
+#include "measure/host_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace am::measure {
+namespace {
+
+HostRunOptions quick(Resource r, std::uint32_t count) {
+  HostRunOptions o;
+  o.resource = r;
+  o.count = count;
+  o.cs_buffer_bytes = 256 * 1024;
+  o.bw_buffer_bytes = 64 * 1024;
+  o.bw_num_buffers = 4;
+  o.settle_seconds = 0.01;
+  return o;
+}
+
+int busy_work() {
+  // A small deterministic workload: sum over a modest buffer.
+  std::vector<int> buf(1 << 16, 1);
+  int acc = 0;
+  for (int pass = 0; pass < 50; ++pass)
+    for (const int v : buf) acc += v;
+  return acc;
+}
+
+TEST(HostBackend, TimesWorkloadWithoutInterference) {
+  HostBackend backend;
+  std::atomic<int> sink{0};
+  const auto result =
+      backend.run([&] { sink = busy_work(); }, quick(Resource::kCacheStorage, 0));
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_EQ(result.interference_iterations, 0u);
+  EXPECT_EQ(sink.load(), 50 * (1 << 16));
+}
+
+TEST(HostBackend, RunsUnderStorageInterference) {
+  HostBackend backend;
+  std::atomic<int> sink{0};
+  const auto result = backend.run([&] { sink = busy_work(); },
+                                  quick(Resource::kCacheStorage, 2));
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.interference_iterations, 0u);
+}
+
+TEST(HostBackend, RunsUnderBandwidthInterference) {
+  HostBackend backend;
+  std::atomic<int> sink{0};
+  const auto result = backend.run([&] { sink = busy_work(); },
+                                  quick(Resource::kBandwidth, 1));
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.interference_iterations, 0u);
+}
+
+TEST(HostBackend, PerfCountersOptional) {
+  HostBackend backend;
+  auto opts = quick(Resource::kCacheStorage, 0);
+  opts.use_perf_counters = true;
+  const auto result = backend.run([] {}, opts);
+  // Either we got counters (bare metal) or we gracefully got nullopt
+  // (container); both are valid outcomes.
+  if (result.counters) EXPECT_GT(result.counters->cycles, 0u);
+  opts.use_perf_counters = false;
+  const auto result2 = backend.run([] {}, opts);
+  EXPECT_FALSE(result2.counters.has_value());
+}
+
+}  // namespace
+}  // namespace am::measure

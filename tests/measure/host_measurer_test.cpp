@@ -1,0 +1,65 @@
+#include "measure/host_measurer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace am::measure {
+namespace {
+
+HostSweepOptions quick(std::uint32_t max_threads) {
+  HostSweepOptions o;
+  o.max_threads = max_threads;
+  o.repetitions = 2;
+  o.cs_buffer_bytes = 128 * 1024;
+  o.bw_buffer_bytes = 64 * 1024;
+  return o;
+}
+
+TEST(HostMeasurer, SweepProducesAllPoints) {
+  HostMeasurer measurer;
+  std::vector<int> buf(1 << 14, 1);
+  volatile int sink = 0;
+  const auto result = measurer.sweep(
+      [&] {
+        int acc = 0;
+        for (int pass = 0; pass < 20; ++pass)
+          for (const int v : buf) acc += v;
+        sink = acc;
+      },
+      quick(2));
+  ASSERT_EQ(result.points.size(), 3u);
+  for (const auto& p : result.points) {
+    EXPECT_GT(p.seconds_mean, 0.0);
+    EXPECT_GE(p.seconds_stddev, 0.0);
+  }
+}
+
+TEST(HostMeasurer, SingleRepetitionHasZeroStddev) {
+  HostMeasurer measurer;
+  auto opts = quick(0);
+  opts.repetitions = 1;
+  const auto result = measurer.sweep([] {}, opts);
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.points[0].seconds_stddev, 0.0);
+}
+
+TEST(HostSweepResult, DegradationOnsetDetection) {
+  HostSweepResult r;
+  r.points = {{0, 1.00, 0.0, {}}, {1, 1.02, 0.0, {}}, {2, 1.20, 0.0, {}}};
+  EXPECT_EQ(r.degradation_onset(0.05), 2);
+  EXPECT_EQ(r.degradation_onset(0.5), -1);
+  HostSweepResult empty;
+  EXPECT_EQ(empty.degradation_onset(), -1);
+}
+
+TEST(HostSweepResult, OnsetUsesFirstExceedingPoint) {
+  HostSweepResult r;
+  r.points = {{0, 1.0, 0.0, {}},
+              {1, 1.5, 0.0, {}},
+              {2, 1.01, 0.0, {}}};  // noisy dip after onset
+  EXPECT_EQ(r.degradation_onset(0.05), 1);
+}
+
+}  // namespace
+}  // namespace am::measure

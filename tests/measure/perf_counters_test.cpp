@@ -1,0 +1,56 @@
+#include "measure/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace am::measure {
+namespace {
+
+TEST(PerfCounterSet, ConstructsWithoutCrashing) {
+  PerfCounterSet set;
+  if (!set.available())
+    EXPECT_FALSE(set.unavailable_reason().empty());
+  else
+    EXPECT_TRUE(set.unavailable_reason().empty());
+}
+
+TEST(PerfCounterSet, CountsSomethingWhenAvailable) {
+  PerfCounterSet set;
+  if (!set.available())
+    GTEST_SKIP() << "perf unavailable: " << set.unavailable_reason();
+  set.start();
+  volatile long acc = 0;
+  for (long i = 0; i < 1'000'000; ++i) acc += i;
+  const auto values = set.stop();
+  EXPECT_GT(values.cycles, 0u);
+  EXPECT_GT(values.instructions, 0u);
+}
+
+TEST(PerfCounterSet, MoveTransfersOwnership) {
+  PerfCounterSet a;
+  const bool was_available = a.available();
+  PerfCounterSet b(std::move(a));
+  EXPECT_EQ(b.available(), was_available);
+  PerfCounterSet c;
+  c = std::move(b);
+  EXPECT_EQ(c.available(), was_available);
+}
+
+TEST(PerfValues, MissRateHandlesZeroReferences) {
+  PerfValues v;
+  EXPECT_DOUBLE_EQ(v.cache_miss_rate(), 0.0);
+  v.cache_references = 100;
+  v.cache_misses = 25;
+  EXPECT_DOUBLE_EQ(v.cache_miss_rate(), 0.25);
+}
+
+TEST(PerfCounterSet, StopWithoutStartIsSafe) {
+  PerfCounterSet set;
+  const auto values = set.stop();
+  (void)values;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace am::measure

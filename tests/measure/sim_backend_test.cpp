@@ -1,0 +1,106 @@
+#include "measure/sim_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "measure/app_workloads.hpp"
+#include "model/distributions.hpp"
+
+namespace am::measure {
+namespace {
+
+using model::AccessDistribution;
+using sim::MachineConfig;
+
+constexpr std::uint32_t kScale = 32;
+
+MachineConfig machine(std::uint32_t nodes = 1) {
+  return MachineConfig::xeon20mb_scaled(kScale, nodes);
+}
+
+apps::SyntheticConfig synth_cfg(const MachineConfig& m, double ratio) {
+  const auto elements =
+      static_cast<std::uint64_t>(ratio * m.l3.size_bytes / 4);
+  return apps::SyntheticConfig{AccessDistribution::uniform(elements, "Uni"),
+                               4, 1, elements * 2, 200'000};
+}
+
+interfere::CSThrConfig cs_cfg() {
+  interfere::CSThrConfig c;
+  c.buffer_bytes = 4ull * 1024 * 1024 / kScale;
+  return c;
+}
+
+interfere::BWThrConfig bw_cfg() {
+  interfere::BWThrConfig c;
+  c.buffer_bytes = 520ull * 1024 / kScale;
+  return c;
+}
+
+TEST(SimBackend, BaselineRunProducesCounters) {
+  SimBackend backend(machine());
+  const auto result = backend.run(
+      make_synthetic_workload(synth_cfg(machine(), 2.0)),
+      InterferenceSpec::none());
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.app.loads, 100'000u);
+  EXPECT_GT(result.app_l3_miss_rate, 0.3);  // buffer 2x L3, uniform
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.interference_threads, 0u);
+}
+
+TEST(SimBackend, StorageInterferenceRaisesMissRateAndTime) {
+  SimBackend backend(machine());
+  const auto factory = make_synthetic_workload(synth_cfg(machine(), 2.0));
+  const auto base = backend.run(factory, InterferenceSpec::none());
+  const auto interfered =
+      backend.run(factory, InterferenceSpec::storage(4, cs_cfg()));
+  EXPECT_GT(interfered.app_l3_miss_rate, base.app_l3_miss_rate + 0.05);
+  EXPECT_GT(interfered.seconds, base.seconds * 1.05);
+  EXPECT_EQ(interfered.interference_threads, 4u);
+}
+
+TEST(SimBackend, BandwidthInterferenceSlowsMemoryBoundWork) {
+  SimBackend backend(machine());
+  const auto factory = make_synthetic_workload(synth_cfg(machine(), 3.0));
+  const auto base = backend.run(factory, InterferenceSpec::none());
+  const auto interfered =
+      backend.run(factory, InterferenceSpec::bandwidth(2, bw_cfg()));
+  EXPECT_GT(interfered.seconds, base.seconds * 1.02);
+}
+
+TEST(SimBackend, InterferencePlacedOnEveryUsedSocket) {
+  SimBackend backend(machine(/*nodes=*/2));
+  auto cfg = apps::McbConfig::paper(20'000, kScale);
+  cfg.steps = 1;
+  const auto result = backend.run(make_mcb_workload(4, 1, cfg),
+                                  InterferenceSpec::storage(2, cs_cfg()));
+  // 4 ranks, 1 per socket => 4 sockets x 2 threads.
+  EXPECT_EQ(result.interference_threads, 8u);
+}
+
+TEST(SimBackend, ThrowsWhenInterferenceDoesNotFit) {
+  SimBackend backend(machine());
+  const auto factory = make_synthetic_workload(synth_cfg(machine(), 2.0));
+  EXPECT_THROW(backend.run(factory, InterferenceSpec::storage(8, cs_cfg())),
+               std::invalid_argument);
+}
+
+TEST(SimBackend, TimeoutReported) {
+  SimBackend backend(machine());
+  const auto factory = make_synthetic_workload(synth_cfg(machine(), 2.0));
+  const auto result =
+      backend.run(factory, InterferenceSpec::none(), /*max_cycles=*/1000);
+  EXPECT_TRUE(result.timed_out);
+}
+
+TEST(SimBackend, DeterministicAcrossCalls) {
+  SimBackend backend(machine());
+  const auto factory = make_synthetic_workload(synth_cfg(machine(), 2.0));
+  const auto a = backend.run(factory, InterferenceSpec::storage(2, cs_cfg()));
+  const auto b = backend.run(factory, InterferenceSpec::storage(2, cs_cfg()));
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.app.loads, b.app.loads);
+}
+
+}  // namespace
+}  // namespace am::measure

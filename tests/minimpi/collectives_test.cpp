@@ -1,0 +1,140 @@
+#include "minimpi/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace am::minimpi {
+namespace {
+
+using sim::Cycles;
+using sim::MachineConfig;
+
+MachineConfig machine(std::uint32_t nodes = 1) {
+  auto m = MachineConfig::xeon20mb_scaled(64, nodes);
+  m.prefetcher.enabled = false;
+  return m;
+}
+
+/// Performs `epochs` all-reduces, recording entry/exit clocks.
+class ReduceAgent final : public sim::Agent {
+ public:
+  ReduceAgent(Collectives& coll, std::uint32_t rank, std::uint32_t epochs,
+              std::uint64_t bytes)
+      : sim::Agent("reduce"), coll_(&coll), rank_(rank), epochs_(epochs),
+        bytes_(bytes) {}
+
+  void step(sim::AgentContext& ctx) override {
+    if (done_ >= epochs_) return;
+    if (entry_clock_ == 0) entry_clock_ = ctx.now() + 1;
+    if (coll_->try_allreduce(ctx, rank_, bytes_)) {
+      exit_clock_ = ctx.now();
+      ++done_;
+    }
+  }
+  bool finished() const override { return done_ >= epochs_; }
+
+  Cycles entry_clock() const { return entry_clock_; }
+  Cycles exit_clock() const { return exit_clock_; }
+
+ private:
+  Collectives* coll_;
+  std::uint32_t rank_;
+  std::uint32_t epochs_;
+  std::uint64_t bytes_;
+  std::uint32_t done_ = 0;
+  Cycles entry_clock_ = 0;
+  Cycles exit_clock_ = 0;
+};
+
+struct Fixture {
+  Fixture(std::uint32_t nodes, std::uint32_t ranks, std::uint32_t per_socket,
+          std::uint32_t epochs, std::uint64_t bytes)
+      : engine(machine(nodes)),
+        mapping(engine.config(), ranks, per_socket),
+        comm(engine, mapping),
+        coll(comm, mapping) {
+    for (std::uint32_t r = 0; r < ranks; ++r)
+      agents.push_back(static_cast<ReduceAgent*>(&engine.agent(
+          engine.add_agent(
+              std::make_unique<ReduceAgent>(coll, r, epochs, bytes),
+              mapping.placement(r).core))));
+  }
+  sim::Engine engine;
+  Mapping mapping;
+  Communicator comm;
+  Collectives coll;
+  std::vector<ReduceAgent*> agents;
+};
+
+TEST(Collectives, AllRanksCompleteAllReduce) {
+  Fixture f(1, 4, 4, 1, 4096);
+  f.engine.run();
+  for (std::uint32_t r = 0; r < 4; ++r) EXPECT_EQ(f.coll.completed(r), 1u);
+}
+
+TEST(Collectives, MultipleEpochsPipeline) {
+  Fixture f(1, 4, 4, 5, 2048);
+  f.engine.run();
+  for (std::uint32_t r = 0; r < 4; ++r) EXPECT_EQ(f.coll.completed(r), 5u);
+}
+
+TEST(Collectives, AllReduceSynchronizes) {
+  // No rank can exit the all-reduce before every rank has entered it:
+  // data must travel the whole ring.
+  Fixture f(1, 6, 6, 1, 4096);
+  f.engine.run();
+  Cycles max_entry = 0;
+  for (auto* a : f.agents) max_entry = std::max(max_entry, a->entry_clock());
+  for (auto* a : f.agents) EXPECT_GE(a->exit_clock(), max_entry);
+}
+
+TEST(Collectives, WorksAcrossSocketsAndNodes) {
+  Fixture f(2, 4, 1, 2, 4096);
+  f.engine.run();
+  for (std::uint32_t r = 0; r < 4; ++r) EXPECT_EQ(f.coll.completed(r), 2u);
+  EXPECT_GT(f.comm.total_bytes_sent(), 0u);
+}
+
+TEST(Collectives, CrossNodeReduceIsSlower) {
+  Fixture packed(1, 4, 4, 1, 64 * 1024);
+  Fixture spread(2, 4, 1, 1, 64 * 1024);
+  const Cycles t_packed = packed.engine.run();
+  const Cycles t_spread = spread.engine.run();
+  EXPECT_GT(t_spread, t_packed);
+}
+
+TEST(Collectives, BarrierCompletes) {
+  auto m = machine();
+  sim::Engine eng(m);
+  Mapping map(eng.config(), 3, 3);
+  Communicator comm(eng, map);
+  Collectives coll(comm, map);
+  struct BarrierAgent final : sim::Agent {
+    BarrierAgent(Collectives& c, std::uint32_t r)
+        : sim::Agent("b"), coll(&c), rank(r) {}
+    void step(sim::AgentContext& ctx) override {
+      if (!done) done = coll->try_barrier(ctx, rank);
+    }
+    bool finished() const override { return done; }
+    Collectives* coll;
+    std::uint32_t rank;
+    bool done = false;
+  };
+  for (std::uint32_t r = 0; r < 3; ++r)
+    eng.add_agent(std::make_unique<BarrierAgent>(coll, r),
+                  map.placement(r).core);
+  eng.run();
+  for (std::uint32_t r = 0; r < 3; ++r) EXPECT_EQ(coll.completed(r), 1u);
+}
+
+TEST(Collectives, RejectsSingleRank) {
+  auto m = machine();
+  sim::Engine eng(m);
+  Mapping map(eng.config(), 1, 1);
+  Communicator comm(eng, map);
+  EXPECT_THROW(Collectives(comm, map), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace am::minimpi

@@ -1,0 +1,74 @@
+#include "minimpi/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace am::minimpi {
+namespace {
+
+using sim::MachineConfig;
+
+TEST(Mapping, PaperMcbMappingOnePerSocket) {
+  // 24 ranks, 1 per processor => 24 sockets = 12 two-socket nodes.
+  const auto m = MachineConfig::xeon20mb(/*nodes=*/12);
+  const Mapping map(m, 24, 1);
+  EXPECT_EQ(map.nodes_used(), 12u);
+  EXPECT_EQ(map.placement(0).core, 0u);
+  EXPECT_EQ(map.placement(1).socket, 1u);
+  EXPECT_EQ(map.placement(23).socket, 23u);
+  EXPECT_EQ(map.free_cores(0).size(), 7u);
+}
+
+TEST(Mapping, PaperMcbMappingFourPerSocket) {
+  // 24 ranks, 4 per processor => 6 sockets = 3 nodes.
+  const auto m = MachineConfig::xeon20mb(/*nodes=*/3);
+  const Mapping map(m, 24, 4);
+  EXPECT_EQ(map.nodes_used(), 3u);
+  EXPECT_EQ(map.used_sockets().size(), 6u);
+  EXPECT_EQ(map.placement(3).socket, 0u);
+  EXPECT_EQ(map.placement(4).socket, 1u);
+  EXPECT_EQ(map.free_cores(0).size(), 4u);
+}
+
+TEST(Mapping, NodesUsedMatchesPaperFormula) {
+  // Paper: 24 ranks with p per processor uses 24/(2p) nodes.
+  for (std::uint32_t p : {1u, 2u, 3u, 4u, 6u}) {
+    const auto m = MachineConfig::xeon20mb(/*nodes=*/12);
+    const Mapping map(m, 24, p);
+    EXPECT_EQ(map.nodes_used(), 24 / (2 * p)) << "p=" << p;
+  }
+}
+
+TEST(Mapping, SocketPeers) {
+  const auto m = MachineConfig::xeon20mb(1);
+  const Mapping map(m, 4, 2);
+  const auto peers = map.socket_peers(0);
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0], 1u);
+  EXPECT_TRUE(map.socket_peers(0) != map.socket_peers(2));
+}
+
+TEST(Mapping, FreeCoresExcludeRankCores) {
+  const auto m = MachineConfig::xeon20mb(1);
+  const Mapping map(m, 3, 3);
+  const auto free = map.free_cores(0);
+  EXPECT_EQ(free.size(), 5u);
+  for (const auto c : free) EXPECT_GE(c, 3u);
+}
+
+TEST(Mapping, RejectsOversubscription) {
+  const auto m = MachineConfig::xeon20mb(1);
+  EXPECT_THROW(Mapping(m, 24, 9), std::invalid_argument);   // > cores/socket
+  EXPECT_THROW(Mapping(m, 24, 1), std::invalid_argument);   // > sockets
+  EXPECT_THROW(Mapping(m, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Mapping(m, 4, 0), std::invalid_argument);
+}
+
+TEST(Mapping, LuleshSixtyFourRanksOnePerSocket) {
+  const auto m = MachineConfig::xeon20mb(/*nodes=*/32);
+  const Mapping map(m, 64, 1);
+  EXPECT_EQ(map.nodes_used(), 32u);
+  EXPECT_EQ(map.placement(63).node, 31u);
+}
+
+}  // namespace
+}  // namespace am::minimpi

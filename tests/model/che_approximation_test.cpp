@@ -1,0 +1,75 @@
+#include "model/che_approximation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/ehr_model.hpp"
+
+namespace am::model {
+namespace {
+
+constexpr std::uint64_t kN = 1 << 18;
+constexpr std::uint64_t kElem = 4;
+constexpr std::uint64_t kLine = 64;
+
+TEST(CheApproximation, FullCapacityHitsEverything) {
+  const auto u = AccessDistribution::uniform(kN, "Uni");
+  const CheApproximation che(u, kElem, kLine);
+  EXPECT_DOUBLE_EQ(che.expected_hit_rate(kN * kElem * 2), 1.0);
+}
+
+TEST(CheApproximation, UniformMatchesCapacityRatio) {
+  // For uniform references, Che's approximation also yields hit rate ==
+  // capacity ratio (every line equally likely to be resident).
+  const auto u = AccessDistribution::uniform(kN, "Uni");
+  const CheApproximation che(u, kElem, kLine);
+  const std::uint64_t cache = kN * kElem / 4;
+  EXPECT_NEAR(che.expected_hit_rate(cache), 0.25, 0.01);
+}
+
+TEST(CheApproximation, MonotoneInCapacity) {
+  const auto d = AccessDistribution::exponential(kN, 6.0 / kN, "Exp_6");
+  const CheApproximation che(d, kElem, kLine);
+  double prev = -1.0;
+  for (int k = 0; k <= 8; ++k) {
+    const double hr = che.expected_hit_rate(kN * kElem / 8 * k);
+    EXPECT_GE(hr, prev - 1e-9);
+    prev = hr;
+  }
+}
+
+TEST(CheApproximation, AtLeastAsHighAsLinearModelForPeaked) {
+  // For a peaked distribution, residency of the hottest lines saturates at
+  // 1, so Che's hit rate exceeds the paper's unclamped linear estimate once
+  // that estimate is biased down by the clamp at the top.
+  const auto d = AccessDistribution::normal(kN, kN / 2.0, kN / 8.0, "Norm_8");
+  const CheApproximation che(d, kElem, kLine);
+  const EhrModel linear(d, kElem);
+  const std::uint64_t cache = kN * kElem / 4;
+  EXPECT_GT(che.expected_hit_rate(cache), 0.0);
+  EXPECT_LE(std::abs(che.expected_hit_rate(cache) -
+                     linear.expected_hit_rate(cache)),
+            0.25);
+}
+
+TEST(CheApproximation, CharacteristicTimeGrowsWithCapacity) {
+  const auto u = AccessDistribution::uniform(kN, "Uni");
+  const CheApproximation che(u, kElem, kLine);
+  const double t1 = che.characteristic_time(che.num_lines() / 8.0);
+  const double t2 = che.characteristic_time(che.num_lines() / 2.0);
+  EXPECT_GT(t2, t1);
+}
+
+TEST(CheApproximation, RejectsBadGeometry) {
+  const auto u = AccessDistribution::uniform(kN, "Uni");
+  EXPECT_THROW(CheApproximation(u, 0, kLine), std::invalid_argument);
+  EXPECT_THROW(CheApproximation(u, 3, 64), std::invalid_argument);
+}
+
+TEST(CheApproximation, LineProbabilitiesCoverBuffer) {
+  const auto u = AccessDistribution::uniform(kN, "Uni");
+  const CheApproximation che(u, kElem, kLine);
+  EXPECT_EQ(che.num_lines(), kN * kElem / kLine);
+}
+
+}  // namespace
+}  // namespace am::model

@@ -1,0 +1,167 @@
+#include "model/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace am::model {
+namespace {
+
+constexpr std::uint64_t kN = 100000;
+
+// ---------- parameterized over the full Table II set ----------
+
+class Table2Test : public ::testing::TestWithParam<int> {
+ protected:
+  AccessDistribution dist() const {
+    return AccessDistribution::table2(kN)[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(Table2Test, PdfIntegratesToOne) {
+  const auto d = dist();
+  // Trapezoid integration of the continuous density over [0, n).
+  const int steps = 20000;
+  const double h = static_cast<double>(kN) / steps;
+  double integral = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double x0 = i * h, x1 = (i + 1) * h;
+    integral += 0.5 * (d.pdf(x0) + d.pdf(std::nextafter(x1, x0))) * h;
+  }
+  EXPECT_NEAR(integral, 1.0, 2e-3) << d.name();
+}
+
+TEST_P(Table2Test, CdfIsMonotoneAndNormalized) {
+  const auto d = dist();
+  EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(static_cast<double>(kN)), 1.0);
+  double prev = 0.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double x = static_cast<double>(kN) * i / 100.0;
+    const double c = d.cdf(x);
+    EXPECT_GE(c, prev - 1e-12) << d.name() << " at " << x;
+    prev = c;
+  }
+}
+
+TEST_P(Table2Test, SamplesStayInRange) {
+  const auto d = dist();
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const auto idx = d.sample(rng);
+    ASSERT_LT(idx, kN) << d.name();
+  }
+}
+
+TEST_P(Table2Test, SampleMeanMatchesPdfMean) {
+  const auto d = dist();
+  // Analytic mean via numeric integration of x * pdf(x).
+  const int steps = 20000;
+  const double h = static_cast<double>(kN) / steps;
+  double mean = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double x = (i + 0.5) * h;
+    mean += x * d.pdf(x) * h;
+  }
+  Rng rng(7);
+  RunningStats rs;
+  for (int i = 0; i < 200000; ++i)
+    rs.add(static_cast<double>(d.sample(rng)));
+  EXPECT_NEAR(rs.mean(), mean, static_cast<double>(kN) * 0.01) << d.name();
+}
+
+TEST_P(Table2Test, IntegralPdfSqMatchesNumeric) {
+  const auto d = dist();
+  const int steps = 200000;
+  const double h = static_cast<double>(kN) / steps;
+  double numeric = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double x = (i + 0.5) * h;
+    const double p = d.pdf(x);
+    numeric += p * p * h;
+  }
+  EXPECT_NEAR(d.integral_pdf_sq(), numeric, numeric * 0.01) << d.name();
+}
+
+TEST_P(Table2Test, EmpiricalConcentrationMatchesAnalytic) {
+  // integral(pdf^2) equals E[pdf(X)]; estimate it from samples.
+  const auto d = dist();
+  Rng rng(13);
+  RunningStats rs;
+  for (int i = 0; i < 200000; ++i)
+    rs.add(d.pdf(static_cast<double>(d.sample(rng)) + 0.5));
+  EXPECT_NEAR(rs.mean(), d.integral_pdf_sq(), d.integral_pdf_sq() * 0.05)
+      << d.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTable2, Table2Test, ::testing::Range(0, 10),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return AccessDistribution::table2(1000)
+                               [static_cast<std::size_t>(info.param)]
+                                   .name();
+                         });
+
+// ---------- targeted checks ----------
+
+TEST(Distributions, Table2HasTenNamedPatterns) {
+  const auto all = AccessDistribution::table2(kN);
+  ASSERT_EQ(all.size(), 10u);
+  EXPECT_EQ(all[0].name(), "Norm_4");
+  EXPECT_EQ(all[9].name(), "Uni");
+}
+
+TEST(Distributions, StddevMatchesTable2Formulas) {
+  const auto all = AccessDistribution::table2(kN);
+  const double n = static_cast<double>(kN);
+  EXPECT_DOUBLE_EQ(all[0].stddev(), n / 4);  // Norm_4
+  EXPECT_DOUBLE_EQ(all[1].stddev(), n / 6);  // Norm_6
+  EXPECT_DOUBLE_EQ(all[2].stddev(), n / 8);  // Norm_8
+  EXPECT_DOUBLE_EQ(all[3].stddev(), n / 4);  // Exp_4: 1/lambda = n/4
+  EXPECT_DOUBLE_EQ(all[4].stddev(), n / 6);
+  EXPECT_DOUBLE_EQ(all[5].stddev(), n / 8);
+  // Triangular(0, m, n): variance (n^2 + m^2 - nm)/18.
+  const double m1 = 0.4 * n;
+  EXPECT_NEAR(all[6].stddev(), std::sqrt((n * n + m1 * m1 - n * m1) / 18.0),
+              1e-9);
+  EXPECT_DOUBLE_EQ(all[9].stddev(), n / std::sqrt(12.0));  // Uniform
+}
+
+TEST(Distributions, UniformConcentrationIsOneOverN) {
+  const auto u = AccessDistribution::uniform(kN, "Uni");
+  EXPECT_NEAR(u.integral_pdf_sq(), 1.0 / static_cast<double>(kN), 1e-12);
+}
+
+TEST(Distributions, NarrowerNormalIsMoreConcentrated) {
+  const auto all = AccessDistribution::table2(kN);
+  EXPECT_GT(all[2].integral_pdf_sq(), all[1].integral_pdf_sq());
+  EXPECT_GT(all[1].integral_pdf_sq(), all[0].integral_pdf_sq());
+}
+
+TEST(Distributions, InvalidParametersThrow) {
+  EXPECT_THROW(AccessDistribution::normal(0, 0, 1, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(AccessDistribution::normal(10, 5, 0, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(AccessDistribution::exponential(10, 0, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(AccessDistribution::triangular(10, 11, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(AccessDistribution::uniform(0, "x"), std::invalid_argument);
+}
+
+TEST(Distributions, TriangularSamplerMatchesCdf) {
+  const auto d = AccessDistribution::triangular(kN, 0.4 * kN, "Tri_1");
+  Rng rng(5);
+  int below = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (static_cast<double>(d.sample(rng)) < 0.4 * kN) ++below;
+  // CDF at the mode of Tri(0, 0.4n, n) is 0.4.
+  EXPECT_NEAR(below / static_cast<double>(n), 0.4, 0.01);
+}
+
+}  // namespace
+}  // namespace am::model

@@ -1,0 +1,89 @@
+#include "model/ehr_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace am::model {
+namespace {
+
+constexpr std::uint64_t kN = 1 << 20;  // elements
+constexpr std::uint64_t kElem = 4;     // int elements, as in the paper
+
+TEST(EhrModel, UniformEqualsCapacityRatio) {
+  // For the uniform pattern Eq. 4 reduces to cache_bytes / buffer_bytes.
+  const auto u = AccessDistribution::uniform(kN, "Uni");
+  const EhrModel m(u, kElem);
+  const std::uint64_t cache = kN * kElem / 4;  // quarter of the buffer
+  EXPECT_NEAR(m.expected_hit_rate(cache), 0.25, 1e-9);
+}
+
+TEST(EhrModel, HitRateClampedToOne) {
+  const auto u = AccessDistribution::uniform(1000, "Uni");
+  const EhrModel m(u, kElem);
+  EXPECT_DOUBLE_EQ(m.expected_hit_rate(1000 * kElem * 10), 1.0);
+}
+
+TEST(EhrModel, ZeroCapacityZeroHits) {
+  const auto u = AccessDistribution::uniform(kN, "Uni");
+  const EhrModel m(u, kElem);
+  EXPECT_DOUBLE_EQ(m.expected_hit_rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.expected_miss_rate(0), 1.0);
+}
+
+TEST(EhrModel, MonotoneInCapacity) {
+  const auto d = AccessDistribution::normal(kN, kN / 2.0, kN / 6.0, "Norm_6");
+  const EhrModel m(d, kElem);
+  double prev = -1.0;
+  for (std::uint64_t cap = 0; cap <= kN * kElem; cap += kN * kElem / 16) {
+    const double hr = m.expected_hit_rate(cap);
+    EXPECT_GE(hr, prev);
+    prev = hr;
+  }
+}
+
+TEST(EhrModel, PeakedDistributionsHitMore) {
+  // Same capacity: the more concentrated pattern has the higher hit rate
+  // (paper III-C2: larger stddev => higher miss rates).
+  const auto wide = AccessDistribution::normal(kN, kN / 2.0, kN / 4.0, "N4");
+  const auto narrow = AccessDistribution::normal(kN, kN / 2.0, kN / 8.0, "N8");
+  const std::uint64_t cache = kN * kElem / 8;
+  EXPECT_GT(EhrModel(narrow, kElem).expected_hit_rate(cache),
+            EhrModel(wide, kElem).expected_hit_rate(cache));
+}
+
+// Inversion round-trip property over the whole Table II family and a sweep
+// of capacities (the paper's III-C3 machinery).
+class InversionRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(InversionRoundTrip, CapacityRecovered) {
+  const auto [dist_idx, cap_step] = GetParam();
+  const auto d =
+      AccessDistribution::table2(kN)[static_cast<std::size_t>(dist_idx)];
+  const EhrModel m(d, kElem);
+  const std::uint64_t cache =
+      static_cast<std::uint64_t>(cap_step) * kN * kElem / 16;
+  const double hr = m.expected_hit_rate(cache);
+  if (hr >= 1.0) GTEST_SKIP() << "saturated: inversion not unique";
+  const double recovered = m.invert_capacity(1.0 - hr);
+  EXPECT_NEAR(recovered, static_cast<double>(cache),
+              static_cast<double>(cache) * 1e-9 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistsAndCapacities, InversionRoundTrip,
+                         ::testing::Combine(::testing::Range(0, 10),
+                                            ::testing::Values(1, 2, 4, 8)));
+
+TEST(EhrModel, InvertCapacityClampsPathologicalMissRates) {
+  const auto u = AccessDistribution::uniform(kN, "Uni");
+  const EhrModel m(u, kElem);
+  EXPECT_DOUBLE_EQ(m.invert_capacity(1.5), 0.0);       // miss rate > 1
+  EXPECT_GE(m.invert_capacity(-0.5), 0.0);             // miss rate < 0
+}
+
+TEST(EhrModel, ThrowsOnZeroElementSize) {
+  const auto u = AccessDistribution::uniform(kN, "Uni");
+  EXPECT_THROW(EhrModel(u, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace am::model

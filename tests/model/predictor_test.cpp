@@ -1,0 +1,76 @@
+#include "model/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace am::model {
+namespace {
+
+SensitivityCurve make_curve() {
+  // Resource in MB, runtime in seconds: degradation below 7 MB.
+  return SensitivityCurve({{20.0, 10.0},
+                           {15.0, 10.1},
+                           {12.0, 10.0},
+                           {7.0, 10.2},
+                           {5.0, 12.0},
+                           {2.5, 13.5}});
+}
+
+TEST(SensitivityCurve, BaselineSlowdownIsOne) {
+  const auto c = make_curve();
+  EXPECT_DOUBLE_EQ(c.predict_slowdown(20.0), 1.0);
+}
+
+TEST(SensitivityCurve, InterpolatesBetweenPoints) {
+  const auto c = make_curve();
+  // Between 5 MB (12.0s) and 7 MB (10.2s): halfway = 11.1s.
+  EXPECT_NEAR(c.predict_runtime(6.0), 11.1, 1e-9);
+}
+
+TEST(SensitivityCurve, ClampsOutsideRange) {
+  const auto c = make_curve();
+  EXPECT_DOUBLE_EQ(c.predict_runtime(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.predict_runtime(1.0), 13.5);
+}
+
+TEST(SensitivityCurve, MonotoneEnvelopeAppliedToNoise) {
+  // The 15 MB point is slower than the 12 MB point (noise); the envelope
+  // must never predict *faster* runtime for *less* resource.
+  const auto c = make_curve();
+  double prev = c.predict_runtime(2.5);
+  for (double r = 3.0; r <= 20.0; r += 0.5) {
+    const double t = c.predict_runtime(r);
+    EXPECT_LE(t, prev + 1e-12) << "at " << r;
+    prev = t;
+  }
+}
+
+TEST(SensitivityCurve, ActiveUseThresholdFindsDegradationPoint) {
+  const auto c = make_curve();
+  // Tolerance 5%: 10.2 <= 10.5 is fine at 7 MB; 12.0 at 5 MB degrades.
+  // The application actively uses >= 7 MB (first non-degraded level).
+  EXPECT_DOUBLE_EQ(c.active_use_threshold(0.05), 7.0);
+}
+
+TEST(SensitivityCurve, ActiveUseZeroWhenNeverDegraded) {
+  const SensitivityCurve c({{20.0, 10.0}, {10.0, 10.1}, {5.0, 10.2}});
+  EXPECT_DOUBLE_EQ(c.active_use_threshold(0.05), 0.0);
+}
+
+TEST(SensitivityCurve, SinglePointCurveWorks) {
+  const SensitivityCurve c({{10.0, 5.0}});
+  EXPECT_DOUBLE_EQ(c.predict_runtime(3.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.predict_slowdown(3.0), 1.0);
+}
+
+TEST(SensitivityCurve, EmptyThrows) {
+  EXPECT_THROW(SensitivityCurve({}), std::invalid_argument);
+}
+
+TEST(SensitivityCurve, UnsortedInputIsSorted) {
+  const SensitivityCurve c({{5.0, 12.0}, {20.0, 10.0}, {12.0, 10.5}});
+  EXPECT_DOUBLE_EQ(c.points().front().resource_available, 5.0);
+  EXPECT_DOUBLE_EQ(c.points().back().resource_available, 20.0);
+}
+
+}  // namespace
+}  // namespace am::model

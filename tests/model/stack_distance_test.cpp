@@ -1,0 +1,164 @@
+#include "model/stack_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace am::model {
+namespace {
+
+constexpr auto kCold = StackDistanceAnalyzer::kCold;
+
+TEST(StackDistance, FirstAccessesAreCold) {
+  StackDistanceAnalyzer a;
+  EXPECT_EQ(a.access(1), kCold);
+  EXPECT_EQ(a.access(2), kCold);
+  EXPECT_EQ(a.access(3), kCold);
+  EXPECT_EQ(a.unique_lines(), 3u);
+}
+
+TEST(StackDistance, ImmediateReuseIsZero) {
+  StackDistanceAnalyzer a;
+  a.access(7);
+  EXPECT_EQ(a.access(7), 0u);
+  EXPECT_EQ(a.access(7), 0u);
+}
+
+TEST(StackDistance, CountsDistinctIntermediateLines) {
+  StackDistanceAnalyzer a;
+  a.access(1);
+  a.access(2);
+  a.access(3);
+  a.access(2);           // distance 1 (only 3 since)
+  EXPECT_EQ(a.access(1), 2u);  // 2 and 3 touched since
+}
+
+TEST(StackDistance, RepeatsDoNotInflateDistance) {
+  StackDistanceAnalyzer a;
+  a.access(1);
+  a.access(2);
+  a.access(2);
+  a.access(2);
+  EXPECT_EQ(a.access(1), 1u);  // only one distinct line since
+}
+
+TEST(StackDistance, CyclicPatternHasWorkingSetDistance) {
+  // Round-robin over N lines: every non-cold access has distance N-1.
+  StackDistanceAnalyzer a;
+  constexpr std::uint64_t kN = 17;
+  for (std::uint64_t i = 0; i < kN; ++i) EXPECT_EQ(a.access(i), kCold);
+  for (int round = 0; round < 3; ++round)
+    for (std::uint64_t i = 0; i < kN; ++i)
+      EXPECT_EQ(a.access(i), kN - 1);
+}
+
+TEST(StackDistance, AnalyzeMatchesStreaming) {
+  std::vector<std::uint64_t> lines{5, 6, 5, 7, 6, 5};
+  const auto dists = StackDistanceAnalyzer::analyze(lines);
+  ASSERT_EQ(dists.size(), 6u);
+  EXPECT_EQ(dists[0], kCold);
+  EXPECT_EQ(dists[2], 1u);  // 6 since first 5
+  EXPECT_EQ(dists[4], 2u);  // 5, 7 since first 6
+  EXPECT_EQ(dists[5], 2u);  // distinct since the previous 5: {7, 6}
+}
+
+TEST(StackDistance, MatchesNaiveReferenceOnRandomTrace) {
+  // Property check against an O(n^2) reference implementation.
+  Rng rng(23);
+  std::vector<std::uint64_t> lines;
+  for (int i = 0; i < 2000; ++i) lines.push_back(rng.bounded(64));
+  const auto fast = StackDistanceAnalyzer::analyze(lines);
+  // Naive: scan backwards counting distinct lines.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::uint64_t expect = kCold;
+    std::vector<std::uint64_t> seen;
+    for (std::size_t j = i; j-- > 0;) {
+      if (lines[j] == lines[i]) {
+        expect = seen.size();
+        break;
+      }
+      if (std::find(seen.begin(), seen.end(), lines[j]) == seen.end())
+        seen.push_back(lines[j]);
+    }
+    ASSERT_EQ(fast[i], expect) << "at " << i;
+  }
+}
+
+TEST(MissRateCurve, ZeroCapacityMissesEverything) {
+  const auto d = StackDistanceAnalyzer::analyze({1, 1, 2, 1});
+  MissRateCurve mrc(d);
+  EXPECT_DOUBLE_EQ(mrc.miss_rate(0), 1.0);
+}
+
+TEST(MissRateCurve, LargeCapacityLeavesOnlyColdMisses) {
+  const auto d = StackDistanceAnalyzer::analyze({1, 2, 3, 1, 2, 3});
+  MissRateCurve mrc(d);
+  EXPECT_EQ(mrc.cold_misses(), 3u);
+  EXPECT_DOUBLE_EQ(mrc.miss_rate(1000), 0.5);  // 3 cold of 6
+}
+
+TEST(MissRateCurve, MonotoneNonIncreasing) {
+  Rng rng(5);
+  std::vector<std::uint64_t> lines;
+  for (int i = 0; i < 5000; ++i) lines.push_back(rng.bounded(256));
+  MissRateCurve mrc(StackDistanceAnalyzer::analyze(lines));
+  double prev = 1.1;
+  for (std::uint64_t c = 0; c <= 300; c += 10) {
+    const double m = mrc.miss_rate(c);
+    EXPECT_LE(m, prev + 1e-12);
+    prev = m;
+  }
+}
+
+TEST(MissRateCurve, UniformRandomMatchesCapacityRatio) {
+  // Uniform random over N lines, cache C: steady-state hit rate ~ C/N
+  // (same law the paper's Eq. 4 gives for the uniform distribution).
+  Rng rng(9);
+  constexpr std::uint64_t kN = 512;
+  std::vector<std::uint64_t> lines;
+  for (int i = 0; i < 200'000; ++i) lines.push_back(rng.bounded(kN));
+  MissRateCurve mrc(StackDistanceAnalyzer::analyze(lines));
+  for (const std::uint64_t c : {128u, 256u, 384u}) {
+    const double expected_miss = 1.0 - static_cast<double>(c) / kN;
+    EXPECT_NEAR(mrc.miss_rate(c), expected_miss, 0.02) << "C=" << c;
+  }
+}
+
+TEST(MissRateCurve, CapacityForMissRateInvertsCurve) {
+  Rng rng(11);
+  std::vector<std::uint64_t> lines;
+  for (int i = 0; i < 50'000; ++i) lines.push_back(rng.bounded(128));
+  MissRateCurve mrc(StackDistanceAnalyzer::analyze(lines));
+  const auto c = mrc.capacity_for_miss_rate(0.5);
+  ASSERT_NE(c, UINT64_MAX);
+  EXPECT_LE(mrc.miss_rate(c), 0.5);
+  if (c > 0) EXPECT_GT(mrc.miss_rate(c - 1), 0.5);
+}
+
+TEST(MissRateCurve, WarmMissRateExcludesCold) {
+  const auto d = StackDistanceAnalyzer::analyze({1, 2, 3, 1, 2, 3});
+  MissRateCurve mrc(d);
+  // Warm accesses all have distance 2: hit iff capacity > 2.
+  EXPECT_DOUBLE_EQ(mrc.warm_miss_rate(3), 0.0);
+  EXPECT_DOUBLE_EQ(mrc.warm_miss_rate(2), 1.0);
+}
+
+TEST(MissRateCurve, GrowAcrossRebuildKeepsDistances) {
+  // More than the initial 1024 timestamps: exercises the tree rebuild.
+  StackDistanceAnalyzer a;
+  for (int round = 0; round < 40; ++round)
+    for (std::uint64_t line = 0; line < 50; ++line) {
+      const auto d = a.access(line);
+      if (round > 0) ASSERT_EQ(d, 49u) << round << " " << line;
+    }
+}
+
+TEST(MissRateCurve, UnreachableTargetReported) {
+  // 50% of accesses are cold: a 10% miss rate is impossible.
+  std::vector<std::uint64_t> lines{1, 1, 2, 2, 3, 3, 4, 4};
+  MissRateCurve mrc(StackDistanceAnalyzer::analyze(lines));
+  EXPECT_EQ(mrc.capacity_for_miss_rate(0.1), UINT64_MAX);
+}
+
+}  // namespace
+}  // namespace am::model

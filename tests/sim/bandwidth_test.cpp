@@ -1,0 +1,71 @@
+#include "sim/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace am::sim {
+namespace {
+
+TEST(BandwidthChannel, UnloadedTransferTakesOccupancyPlusLatency) {
+  BandwidthChannel ch(/*bytes_per_cycle=*/4.0, /*latency=*/100);
+  // 64 bytes at 4 B/cyc = 16 cycles occupancy + 100 latency.
+  EXPECT_EQ(ch.transfer(0, 64), 116u);
+}
+
+TEST(BandwidthChannel, BackToBackTransfersQueue) {
+  BandwidthChannel ch(4.0, 100);
+  EXPECT_EQ(ch.transfer(0, 64), 116u);
+  // Second transfer issued at the same time queues behind the first:
+  // starts at 16, finishes occupancy at 32, +100 latency.
+  EXPECT_EQ(ch.transfer(0, 64), 132u);
+}
+
+TEST(BandwidthChannel, IdleGapResetsQueue) {
+  BandwidthChannel ch(4.0, 0);
+  ch.transfer(0, 64);
+  // Issued long after the channel went idle: no queueing.
+  EXPECT_EQ(ch.transfer(1000, 64), 1016u);
+}
+
+TEST(BandwidthChannel, TracksTotalBytes) {
+  BandwidthChannel ch(8.0, 0);
+  ch.transfer(0, 64);
+  ch.transfer_async(0, 128);
+  EXPECT_EQ(ch.total_bytes(), 192u);
+}
+
+TEST(BandwidthChannel, SaturationDetection) {
+  BandwidthChannel ch(1.0, 0);  // 1 B/cyc: 64-byte lines take 64 cycles
+  EXPECT_FALSE(ch.saturated(0, 10));
+  for (int i = 0; i < 10; ++i) ch.transfer_async(0, 64);
+  EXPECT_TRUE(ch.saturated(0, 10));
+  EXPECT_FALSE(ch.saturated(0, 100000));
+}
+
+TEST(BandwidthChannel, UtilizationFractionOfTime) {
+  BandwidthChannel ch(4.0, 0);
+  ch.transfer(0, 400);  // 100 cycles busy
+  EXPECT_NEAR(ch.utilization(200), 0.5, 1e-9);
+  EXPECT_NEAR(ch.utilization(100), 1.0, 1e-9);
+}
+
+TEST(BandwidthChannel, ResetStatsClearsAccounting) {
+  BandwidthChannel ch(4.0, 0);
+  ch.transfer(0, 64);
+  ch.reset_stats();
+  EXPECT_EQ(ch.total_bytes(), 0u);
+  EXPECT_NEAR(ch.utilization(1000), 0.0, 1e-9);
+}
+
+TEST(BandwidthChannel, RejectsNonPositiveBandwidth) {
+  EXPECT_THROW(BandwidthChannel(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(BandwidthChannel(-1.0, 10), std::invalid_argument);
+}
+
+TEST(BandwidthChannel, FractionalBandwidthRoundsUp) {
+  BandwidthChannel ch(6.54, 0);  // ~17 GB/s at 2.6 GHz
+  // ceil(64 / 6.54) = 10 cycles.
+  EXPECT_EQ(ch.transfer(0, 64), 10u);
+}
+
+}  // namespace
+}  // namespace am::sim

@@ -1,0 +1,113 @@
+// Parameterized property sweep over cache geometries and policies: the
+// structural invariants every configuration must satisfy.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "sim/cache.hpp"
+
+namespace am::sim {
+namespace {
+
+// (size_bytes, ways, insert_age, random_replacement)
+using Geometry = std::tuple<std::uint64_t, std::uint32_t, std::uint64_t, bool>;
+
+class CacheProperty : public ::testing::TestWithParam<Geometry> {
+ protected:
+  CacheConfig config() const {
+    const auto [size, ways, insert_age, random] = GetParam();
+    CacheConfig c{size, 64, ways, "prop"};
+    c.insert_age = insert_age;
+    c.replacement = random ? Replacement::kRandom : Replacement::kLru;
+    return c;
+  }
+};
+
+TEST_P(CacheProperty, NeverExceedsCapacity) {
+  Cache cache(config());
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i)
+    cache.access(rng.bounded(1 << 16), 0);
+  EXPECT_LE(cache.resident_lines(), config().num_lines());
+}
+
+TEST_P(CacheProperty, FillsCompletelyUnderPressure) {
+  Cache cache(config());
+  // Touch far more distinct lines than capacity: every way must be used.
+  for (Addr line = 0; line < config().num_lines() * 4; ++line)
+    cache.access(line, 0);
+  EXPECT_EQ(cache.resident_lines(), config().num_lines());
+}
+
+TEST_P(CacheProperty, HitAfterInsertBeforeAnyEviction) {
+  Cache cache(config());
+  // Within one set, up to `ways` lines coexist: all still hit.
+  const auto sets = config().num_sets();
+  for (std::uint32_t w = 0; w < config().ways; ++w)
+    EXPECT_FALSE(cache.access(w * sets, 0).hit);
+  for (std::uint32_t w = 0; w < config().ways; ++w)
+    EXPECT_TRUE(cache.access(w * sets, 0).hit) << "way " << w;
+}
+
+TEST_P(CacheProperty, ContainsAgreesWithAccessHits) {
+  Cache cache(config());
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const Addr line = rng.bounded(1 << 12);
+    const bool present = cache.contains(line);
+    const bool hit = cache.access(line, 0).hit;
+    EXPECT_EQ(present, hit);
+  }
+}
+
+TEST_P(CacheProperty, OwnerOccupancySumsToResident) {
+  Cache cache(config());
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i)
+    cache.access(rng.bounded(1 << 14),
+                 static_cast<std::uint16_t>(rng.bounded(4)));
+  std::uint64_t sum = 0;
+  for (std::uint16_t owner = 0; owner < 4; ++owner)
+    sum += cache.occupancy_lines(owner);
+  EXPECT_EQ(sum, cache.resident_lines());
+}
+
+TEST_P(CacheProperty, EvictionReportsAValidResidentLine) {
+  Cache cache(config());
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const Addr line = rng.bounded(1 << 13);
+    const bool was_present = cache.contains(line);
+    const auto out = cache.access(line, 0);
+    if (out.evicted) {
+      EXPECT_FALSE(was_present);                 // only misses evict
+      EXPECT_NE(out.evicted_line, line);
+      EXPECT_FALSE(cache.contains(out.evicted_line));
+    }
+  }
+}
+
+TEST_P(CacheProperty, InvalidateThenMiss) {
+  Cache cache(config());
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const Addr line = rng.bounded(1 << 10);
+    cache.access(line, 0);
+    cache.invalidate(line);
+    EXPECT_FALSE(cache.contains(line));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperty,
+    ::testing::Values(
+        Geometry{32 * 1024, 8, 0, false},     // L1-like
+        Geometry{256 * 1024, 8, 0, false},    // L2-like
+        Geometry{1280 * 1024, 20, 0, false},  // scaled L3
+        Geometry{64 * 1024, 16, 512, false},  // SRRIP-style insertion
+        Geometry{64 * 1024, 4, 0, true},      // random replacement
+        Geometry{8 * 64, 8, 0, false}));      // fully associative
+
+}  // namespace
+}  // namespace am::sim

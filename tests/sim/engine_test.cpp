@@ -1,0 +1,150 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace am::sim {
+namespace {
+
+MachineConfig machine() {
+  auto m = MachineConfig::xeon20mb_scaled(64);
+  m.prefetcher.enabled = false;
+  return m;
+}
+
+/// Loads `count` sequential lines then finishes.
+class StreamAgent final : public Agent {
+ public:
+  StreamAgent(MemorySystem& ms, std::uint64_t count)
+      : Agent("stream"), base_(ms.alloc(count * 64)), remaining_(count) {}
+
+  void step(AgentContext& ctx) override {
+    if (remaining_ == 0) return;
+    ctx.load(base_ + (count_++) * 64);
+    --remaining_;
+  }
+  bool finished() const override { return remaining_ == 0; }
+
+  std::uint64_t loads_done() const { return count_; }
+
+ private:
+  Addr base_;
+  std::uint64_t remaining_;
+  std::uint64_t count_ = 0;
+};
+
+/// Never finishes; counts its own steps.
+class SpinAgent final : public Agent {
+ public:
+  SpinAgent() : Agent("spin") {}
+  void step(AgentContext& ctx) override {
+    ctx.compute(10);
+    ++steps_;
+  }
+  bool finished() const override { return false; }
+  std::uint64_t steps() const { return steps_; }
+
+ private:
+  std::uint64_t steps_ = 0;
+};
+
+TEST(Engine, RunsPrimaryToCompletion) {
+  Engine eng(machine());
+  auto agent = std::make_unique<StreamAgent>(eng.memory(), 100);
+  auto* raw = agent.get();
+  eng.add_agent(std::move(agent), 0);
+  const Cycles end = eng.run();
+  EXPECT_EQ(raw->loads_done(), 100u);
+  EXPECT_GT(end, 0u);
+  EXPECT_EQ(eng.agent_counters(0).loads, 100u);
+}
+
+TEST(Engine, InterferenceAgentsStopWithPrimaries) {
+  Engine eng(machine());
+  eng.add_agent(std::make_unique<StreamAgent>(eng.memory(), 50), 0);
+  auto spin = std::make_unique<SpinAgent>();
+  auto* spin_raw = spin.get();
+  eng.add_agent(std::move(spin), 1, /*primary=*/false);
+  eng.run();
+  EXPECT_GT(spin_raw->steps(), 0u);  // it did run...
+  const auto steps_at_end = spin_raw->steps();
+  EXPECT_EQ(spin_raw->steps(), steps_at_end);  // ...and stopped
+}
+
+TEST(Engine, InterleavesByLocalClock) {
+  // Two identical primaries on different sockets progress together: their
+  // final clocks differ by far less than one full run.
+  auto m = machine();
+  Engine eng(m);
+  eng.add_agent(std::make_unique<StreamAgent>(eng.memory(), 500), 0);
+  eng.add_agent(std::make_unique<StreamAgent>(eng.memory(), 500), 8);
+  eng.run();
+  const auto c0 = eng.agent_clock(0);
+  const auto c1 = eng.agent_clock(1);
+  EXPECT_LT(c0 > c1 ? c0 - c1 : c1 - c0, std::max(c0, c1) / 4);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng(machine(), /*seed=*/7);
+    eng.add_agent(std::make_unique<StreamAgent>(eng.memory(), 200), 0);
+    eng.add_agent(std::make_unique<StreamAgent>(eng.memory(), 200), 1);
+    return eng.run();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, MaxCyclesBoundsRun) {
+  Engine eng(machine());
+  eng.add_agent(std::make_unique<StreamAgent>(eng.memory(), 1u << 30), 0);
+  const Cycles end = eng.run(/*max_cycles=*/10000);
+  EXPECT_EQ(end, 10000u);
+}
+
+TEST(Engine, RejectsDoubleCoreAssignment) {
+  Engine eng(machine());
+  eng.add_agent(std::make_unique<SpinAgent>(), 0, false);
+  EXPECT_THROW(eng.add_agent(std::make_unique<SpinAgent>(), 0, false),
+               std::invalid_argument);
+}
+
+TEST(Engine, RejectsOutOfRangeCore) {
+  Engine eng(machine());
+  EXPECT_THROW(
+      eng.add_agent(std::make_unique<SpinAgent>(),
+                    machine().total_cores(), false),
+      std::invalid_argument);
+}
+
+TEST(Engine, RunWithNoAgentsThrows) {
+  Engine eng(machine());
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(Engine, AgentRngsAreIndependent) {
+  Engine eng(machine(), 1);
+  eng.add_agent(std::make_unique<SpinAgent>(), 0, false);
+  eng.add_agent(std::make_unique<SpinAgent>(), 1, false);
+  EXPECT_NE(eng.agent_rng(0)(), eng.agent_rng(1)());
+}
+
+TEST(Engine, ComputeAdvancesClockAndCounters) {
+  Engine eng(machine());
+  struct ComputeAgent final : Agent {
+    ComputeAgent() : Agent("c") {}
+    void step(AgentContext& ctx) override {
+      ctx.compute(123);
+      done = true;
+    }
+    bool finished() const override { return done; }
+    bool done = false;
+  };
+  eng.add_agent(std::make_unique<ComputeAgent>(), 3);
+  const Cycles end = eng.run();
+  EXPECT_EQ(end, 123u);
+  EXPECT_EQ(eng.agent_counters(0).compute_cycles, 123u);
+}
+
+}  // namespace
+}  // namespace am::sim

@@ -1,0 +1,75 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace am::sim {
+namespace {
+
+TEST(MachineConfig, Xeon20mbMatchesTable1) {
+  const auto m = MachineConfig::xeon20mb();
+  EXPECT_EQ(m.l1.size_bytes, 32u * 1024);
+  EXPECT_EQ(m.l1.ways, 8u);
+  EXPECT_EQ(m.l2.size_bytes, 256u * 1024);
+  EXPECT_EQ(m.l2.ways, 8u);
+  EXPECT_EQ(m.l3.size_bytes, 20u * 1024 * 1024);
+  EXPECT_EQ(m.l3.ways, 20u);
+  EXPECT_EQ(m.l1.line_bytes, 64u);
+  EXPECT_EQ(m.cores_per_socket, 8u);
+  EXPECT_EQ(m.sockets_per_node, 2u);
+}
+
+TEST(MachineConfig, CoreTopologyMapping) {
+  const auto m = MachineConfig::xeon20mb(/*nodes=*/2);
+  EXPECT_EQ(m.total_sockets(), 4u);
+  EXPECT_EQ(m.total_cores(), 32u);
+  EXPECT_EQ(m.socket_of(0), 0u);
+  EXPECT_EQ(m.socket_of(7), 0u);
+  EXPECT_EQ(m.socket_of(8), 1u);
+  EXPECT_EQ(m.node_of(15), 0u);
+  EXPECT_EQ(m.node_of(16), 1u);
+  EXPECT_EQ(m.node_of(31), 1u);
+}
+
+TEST(MachineConfig, CycleConversion) {
+  const auto m = MachineConfig::xeon20mb();
+  EXPECT_NEAR(m.cycles_to_seconds(2600000000ull), 1.0, 1e-9);
+  EXPECT_NEAR(m.mem_bytes_per_cycle(), 17.0e9 / 2.6e9, 1e-9);
+}
+
+TEST(MachineConfig, ScaledPreservesGeometryRatios) {
+  const auto m = MachineConfig::xeon20mb_scaled(8);
+  EXPECT_EQ(m.l3.size_bytes, 20u * 1024 * 1024 / 8);
+  EXPECT_EQ(m.l3.ways, 20u);
+  EXPECT_EQ(m.l2.size_bytes, 32u * 1024);
+  EXPECT_EQ(m.l1.size_bytes, 4u * 1024);
+  // Latencies and bandwidth unchanged.
+  EXPECT_EQ(m.l3_latency, MachineConfig::xeon20mb().l3_latency);
+  EXPECT_DOUBLE_EQ(m.mem_bandwidth_bytes_per_sec, 17.0e9);
+}
+
+TEST(MachineConfig, ScaledClampsToMinimumLegalCache) {
+  const auto m = MachineConfig::xeon20mb_scaled(1 << 20);
+  // Every cache keeps at least one set per way.
+  EXPECT_GE(m.l1.size_bytes, 64u * 8);
+  m.l1.validate();
+  m.l3.validate();
+}
+
+TEST(MachineConfig, ValidateCatchesZeroScale) {
+  EXPECT_THROW(MachineConfig::xeon20mb_scaled(0), std::invalid_argument);
+}
+
+TEST(MachineConfig, ValidateCatchesBadTopology) {
+  auto m = MachineConfig::xeon20mb();
+  m.nodes = 0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = MachineConfig::xeon20mb();
+  m.frequency_ghz = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = MachineConfig::xeon20mb();
+  m.l2.line_bytes = 128;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace am::sim

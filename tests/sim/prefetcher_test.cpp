@@ -1,0 +1,124 @@
+#include "sim/prefetcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace am::sim {
+namespace {
+
+PrefetcherConfig cfg() {
+  PrefetcherConfig c;
+  c.num_streams = 8;
+  c.degree = 2;
+  c.confirm_threshold = 2;
+  return c;
+}
+
+TEST(StreamPrefetcher, ConstantStrideConfirmsAndPrefetches) {
+  StreamPrefetcher pf(cfg());
+  std::vector<Addr> out;
+  // Misses at stride 4 within one 64-line page (lines 6400..6463).
+  pf.on_miss(6400, out);
+  EXPECT_TRUE(out.empty());
+  pf.on_miss(6404, out);
+  EXPECT_TRUE(out.empty());  // confidence 1: armed, not confirmed
+  pf.on_miss(6408, out);     // confidence 2 == threshold: prefetch starts
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 6412u);
+  EXPECT_EQ(out[1], 6416u);
+  out.clear();
+  pf.on_miss(6412, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 6416u);
+  EXPECT_EQ(out[1], 6420u);
+}
+
+TEST(StreamPrefetcher, NegativeStride) {
+  StreamPrefetcher pf(cfg());
+  std::vector<Addr> out;
+  pf.on_miss(1000, out);
+  pf.on_miss(995, out);
+  pf.on_miss(990, out);
+  out.clear();
+  pf.on_miss(985, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 980u);
+  EXPECT_EQ(out[1], 975u);
+}
+
+TEST(StreamPrefetcher, PrefetchesNeverCrossPageBoundary) {
+  StreamPrefetcher pf(cfg());
+  std::vector<Addr> out;
+  // Stride 4 approaching the end of page 100 (lines 6400..6463).
+  pf.on_miss(6448, out);
+  pf.on_miss(6452, out);
+  pf.on_miss(6456, out);  // confirmed: targets 6460 (in page), 6464 (out)
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 6460u);
+}
+
+TEST(StreamPrefetcher, RandomPatternNeverConfirms) {
+  StreamPrefetcher pf(cfg());
+  am::Rng rng(17);
+  std::vector<Addr> out;
+  for (int i = 0; i < 10000; ++i) {
+    pf.on_miss(rng.bounded(1u << 30), out);
+  }
+  // Random 30-bit addresses virtually never form 3-in-a-row exact strides.
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(pf.streams_confirmed(), 0u);
+}
+
+TEST(StreamPrefetcher, LargeStrideOutsideWindowIgnored) {
+  StreamPrefetcher pf(cfg());
+  std::vector<Addr> out;
+  pf.on_miss(0, out);
+  pf.on_miss(100000, out);  // delta 100000 > 1024-line window
+  pf.on_miss(200000, out);
+  pf.on_miss(300000, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StreamPrefetcher, DisabledProducesNothing) {
+  auto c = cfg();
+  c.enabled = false;
+  StreamPrefetcher pf(c);
+  std::vector<Addr> out;
+  for (Addr a = 0; a < 100; a += 2) pf.on_miss(a, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StreamPrefetcher, TracksMultipleInterleavedStreams) {
+  auto c = cfg();
+  c.num_streams = 4;
+  StreamPrefetcher pf(c);
+  std::vector<Addr> out;
+  // Two interleaved streams: base 0 stride 3, base 100000 stride 7.
+  for (int i = 0; i < 6; ++i) {
+    pf.on_miss(static_cast<Addr>(i * 3), out);
+    pf.on_miss(static_cast<Addr>(100000 + i * 7), out);
+  }
+  EXPECT_EQ(pf.streams_confirmed(), 2u);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(StreamPrefetcher, StreamTableEvictsLru) {
+  auto c = cfg();
+  c.num_streams = 2;
+  StreamPrefetcher pf(c);
+  std::vector<Addr> out;
+  // Train stream A fully.
+  for (int i = 0; i < 4; ++i) pf.on_miss(static_cast<Addr>(i * 5), out);
+  EXPECT_EQ(pf.streams_confirmed(), 1u);
+  // Flood with many unrelated one-shot addresses to evict it.
+  for (int i = 0; i < 10; ++i)
+    pf.on_miss(static_cast<Addr>(1000000 + i * 50000), out);
+  out.clear();
+  // Stream A's next miss no longer continues a tracked stream.
+  pf.on_miss(20, out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace am::sim

@@ -1,0 +1,158 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/engine.hpp"
+
+namespace am::sim {
+namespace {
+
+MachineConfig machine() {
+  auto m = MachineConfig::xeon20mb_scaled(64);
+  m.prefetcher.enabled = false;
+  return m;
+}
+
+/// Simple deterministic walker for capture tests.
+class Walker final : public Agent {
+ public:
+  Walker(MemorySystem& ms, std::uint64_t count)
+      : Agent("walker"), base_(ms.alloc(count * 64)), total_(count) {}
+  void step(AgentContext& ctx) override {
+    ctx.load(base_ + done_ * 64);
+    ctx.compute(7);
+    ctx.store(base_ + done_ * 64);
+    ++done_;
+  }
+  bool finished() const override { return done_ >= total_; }
+  Addr base() const { return base_; }
+
+ private:
+  Addr base_;
+  std::uint64_t total_;
+  std::uint64_t done_ = 0;
+};
+
+TEST(TraceBuffer, AppendAndInspect) {
+  TraceBuffer buf;
+  buf.append(0x1000, AccessKind::kLoad, 5);
+  buf.append(0x2000, AccessKind::kStore);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0].addr, 0x1000u);
+  EXPECT_EQ(buf[0].compute_after, 5u);
+  EXPECT_EQ(buf[1].kind, AccessKind::kStore);
+}
+
+TEST(TraceBuffer, AddComputeToLast) {
+  TraceBuffer buf;
+  buf.add_compute_to_last(10);  // no-op when empty
+  buf.append(0x40, AccessKind::kLoad);
+  buf.add_compute_to_last(10);
+  buf.add_compute_to_last(5);
+  EXPECT_EQ(buf[0].compute_after, 15u);
+}
+
+TEST(TraceBuffer, LineAddresses) {
+  TraceBuffer buf;
+  buf.append(0, AccessKind::kLoad);
+  buf.append(63, AccessKind::kLoad);
+  buf.append(64, AccessKind::kLoad);
+  const auto lines = buf.line_addresses(64);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], 0u);
+  EXPECT_EQ(lines[1], 0u);
+  EXPECT_EQ(lines[2], 1u);
+  EXPECT_THROW(buf.line_addresses(0), std::invalid_argument);
+}
+
+TEST(TraceBuffer, SaveLoadRoundTrip) {
+  TraceBuffer buf;
+  for (int i = 0; i < 100; ++i)
+    buf.append(static_cast<Addr>(i * 64),
+               i % 3 ? AccessKind::kLoad : AccessKind::kStore,
+               static_cast<std::uint32_t>(i));
+  const std::string path = testing::TempDir() + "/am_trace_test.bin";
+  ASSERT_TRUE(buf.save(path));
+  const auto loaded = TraceBuffer::load(path);
+  ASSERT_EQ(loaded.size(), buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(loaded[i].addr, buf[i].addr);
+    EXPECT_EQ(loaded[i].kind, buf[i].kind);
+    EXPECT_EQ(loaded[i].compute_after, buf[i].compute_after);
+  }
+}
+
+TEST(TraceBuffer, LoadMissingFileThrows) {
+  EXPECT_THROW(TraceBuffer::load("/nonexistent/am_trace"), std::runtime_error);
+}
+
+TEST(EngineTracing, CapturesAccessesAndComputeGaps) {
+  Engine eng(machine());
+  auto walker = std::make_unique<Walker>(eng.memory(), 50);
+  const auto idx = eng.add_agent(std::move(walker), 0);
+  TraceBuffer trace;
+  eng.set_trace(idx, &trace);
+  eng.run();
+  // 50 loads + 50 stores.
+  ASSERT_EQ(trace.size(), 100u);
+  EXPECT_EQ(trace[0].kind, AccessKind::kLoad);
+  EXPECT_EQ(trace[0].compute_after, 7u);  // the gap folded into the load
+  EXPECT_EQ(trace[1].kind, AccessKind::kStore);
+}
+
+TEST(EngineTracing, ReplayReproducesCounters) {
+  // Capture on one engine, replay on a fresh identical engine: the replay
+  // must touch the same lines the same number of times.
+  TraceBuffer trace;
+  Counters original;
+  {
+    Engine eng(machine());
+    const auto idx =
+        eng.add_agent(std::make_unique<Walker>(eng.memory(), 200), 0);
+    eng.set_trace(idx, &trace);
+    eng.run();
+    original = eng.agent_counters(idx);
+  }
+  Engine replay_eng(machine());
+  // Reserve the same address range on the fresh engine so replayed
+  // addresses stay within allocated space.
+  (void)replay_eng.memory().alloc(200 * 64);
+  const auto ridx = replay_eng.add_agent(
+      std::make_unique<TraceReplayAgent>(trace), 0);
+  replay_eng.run();
+  const auto& replayed = replay_eng.agent_counters(ridx);
+  EXPECT_EQ(replayed.loads, original.loads);
+  EXPECT_EQ(replayed.stores, original.stores);
+  EXPECT_EQ(replayed.mem_accesses, original.mem_accesses);
+  EXPECT_EQ(replayed.compute_cycles, original.compute_cycles);
+}
+
+TEST(EngineTracing, ReplayWithOffsetShiftsAddresses) {
+  TraceBuffer trace;
+  trace.append(0x10000, AccessKind::kLoad);
+  Engine eng(machine());
+  const Addr base = eng.memory().alloc(1 << 20);
+  const auto idx = eng.add_agent(
+      std::make_unique<TraceReplayAgent>(
+          trace, "replay", static_cast<std::int64_t>(base)),
+      0);
+  eng.run();
+  EXPECT_EQ(eng.agent_counters(idx).loads, 1u);
+  EXPECT_TRUE(eng.memory().l1(0).contains((base + 0x10000) >> 6));
+}
+
+TEST(EngineTracing, DisableTracing) {
+  Engine eng(machine());
+  const auto idx =
+      eng.add_agent(std::make_unique<Walker>(eng.memory(), 10), 0);
+  TraceBuffer trace;
+  eng.set_trace(idx, &trace);
+  eng.set_trace(idx, nullptr);
+  eng.run();
+  EXPECT_TRUE(trace.empty());
+}
+
+}  // namespace
+}  // namespace am::sim
