@@ -33,6 +33,14 @@ int main(int argc, char** argv) {
   const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 2));
   const auto max_cs = static_cast<std::uint32_t>(cli.get_int("max-cs", 5));
   const auto max_bw = static_cast<std::uint32_t>(cli.get_int("max-bw", 2));
+  // --quick trims the hard-coded mapping/cube sweeps for smoke runs.
+  const bool quick = cli.get_bool("quick", false);
+  const std::vector<std::uint32_t> mappings =
+      quick ? std::vector<std::uint32_t>{1, 4}
+            : std::vector<std::uint32_t>{1, 2, 4};
+  const std::vector<std::uint32_t> edges =
+      quick ? std::vector<std::uint32_t>{22, 30}
+            : std::vector<std::uint32_t>{22, 25, 28, 30, 32, 36};
 
   am::measure::SimBackend backend(ctx.machine, ctx.seed);
   auto lulesh_cfg = [&](std::uint32_t edge) {
@@ -42,14 +50,14 @@ int main(int argc, char** argv) {
   };
 
   std::vector<Run> runs;
-  for (const std::uint32_t p : {1u, 2u, 4u}) {
+  for (const std::uint32_t p : mappings) {
     const std::uint32_t free_cores = ctx.machine.cores_per_socket - p;
     for (std::uint32_t k = 0; k <= std::min(max_cs, free_cores); ++k)
       runs.push_back({"map", am::measure::Resource::kCacheStorage, k, p, 22});
     for (std::uint32_t k = 1; k <= std::min(max_bw, free_cores); ++k)
       runs.push_back({"map", am::measure::Resource::kBandwidth, k, p, 22});
   }
-  for (const std::uint32_t edge : {22u, 25u, 28u, 30u, 32u, 36u}) {
+  for (const std::uint32_t edge : edges) {
     for (std::uint32_t k = 0; k <= max_cs; ++k)
       runs.push_back({"cube", am::measure::Resource::kCacheStorage, k, 1,
                       edge});

@@ -16,12 +16,21 @@ int main(int argc, char** argv) {
   const auto ranks = static_cast<std::uint32_t>(cli.get_int("ranks", 64));
   const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 2));
   const double tolerance = cli.get_double("tolerance", 0.05);
+  // --quick trims calibration and the cube/mapping sweeps for smoke runs.
+  const bool quick = cli.get_bool("quick", false);
+  const std::vector<std::uint32_t> edges =
+      quick ? std::vector<std::uint32_t>{22} : std::vector<std::uint32_t>{22, 36};
+  const std::vector<std::uint32_t> mappings =
+      quick ? std::vector<std::uint32_t>{1, 4}
+            : std::vector<std::uint32_t>{1, 2, 4};
+  const std::uint32_t sweep_cs = quick ? 2 : 5;
+  const std::uint32_t sweep_bw = quick ? 1 : 2;
 
   am::measure::CalibrationOptions copts;
-  copts.max_threads = 5;
+  copts.max_threads = quick ? 2 : 5;
   copts.buffer_to_l3_ratios = {2.5};
   copts.probe_distributions = {9};
-  copts.accesses_per_probe = 150'000;
+  copts.accesses_per_probe = quick ? 20'000 : 150'000;
   copts.seed = ctx.seed;
   const auto cap_calib =
       am::measure::calibrate_capacity(ctx.machine, ctx.cs_config(), copts);
@@ -32,21 +41,21 @@ int main(int argc, char** argv) {
   am::measure::ActiveMeasurer measurer(backend, cap_calib, bw_calib);
 
   const double mb = 1024.0 * 1024.0;
-  for (const std::uint32_t edge : {22u, 36u}) {
+  for (const std::uint32_t edge : edges) {
     auto cfg = am::apps::LuleshConfig::paper(edge, ctx.scale);
     cfg.steps = steps;
     am::Table t({"p/processor", "capacity lo (MB)", "capacity hi (MB)",
                  "bandwidth lo (GB/s)", "bandwidth hi (GB/s)"});
-    for (const std::uint32_t p : {1u, 2u, 4u}) {
+    for (const std::uint32_t p : mappings) {
       const auto factory = am::measure::make_lulesh_workload(ranks, p, cfg);
       const auto cs_sweep = measurer.sweep(
           factory, am::measure::Resource::kCacheStorage,
-          std::min(5u, ctx.machine.cores_per_socket - p), ctx.cs_config(),
-          ctx.bw_config());
+          std::min(sweep_cs, ctx.machine.cores_per_socket - p),
+          ctx.cs_config(), ctx.bw_config());
       const auto bw_sweep = measurer.sweep(
           factory, am::measure::Resource::kBandwidth,
-          std::min(2u, ctx.machine.cores_per_socket - p), ctx.cs_config(),
-          ctx.bw_config());
+          std::min(sweep_bw, ctx.machine.cores_per_socket - p),
+          ctx.cs_config(), ctx.bw_config());
       const auto cs_bounds =
           am::measure::ActiveMeasurer::bounds(cs_sweep, p, tolerance);
       const auto bw_bounds =

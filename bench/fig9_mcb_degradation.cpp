@@ -34,6 +34,15 @@ int main(int argc, char** argv) {
   const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 3));
   const auto max_cs = static_cast<std::uint32_t>(cli.get_int("max-cs", 5));
   const auto max_bw = static_cast<std::uint32_t>(cli.get_int("max-bw", 2));
+  // --quick trims the hard-coded mapping/particle sweeps for smoke runs.
+  const bool quick = cli.get_bool("quick", false);
+  const std::vector<std::uint32_t> mappings =
+      quick ? std::vector<std::uint32_t>{1, 4}
+            : std::vector<std::uint32_t>{1, 2, 3, 4, 6};
+  const std::vector<std::uint32_t> particle_counts =
+      quick ? std::vector<std::uint32_t>{20'000, 90'000}
+            : std::vector<std::uint32_t>{20'000, 60'000, 90'000, 140'000,
+                                         180'000, 220'000, 260'000};
 
   am::measure::SimBackend backend(ctx.machine, ctx.seed);
   auto mcb_cfg = [&](std::uint32_t particles) {
@@ -44,7 +53,7 @@ int main(int argc, char** argv) {
 
   std::vector<Run> runs;
   // Top: mapping sweep at 20k particles.
-  for (const std::uint32_t p : {1u, 2u, 3u, 4u, 6u}) {
+  for (const std::uint32_t p : mappings) {
     const std::uint32_t free_cores = ctx.machine.cores_per_socket - p;
     for (std::uint32_t k = 0; k <= std::min(max_cs, free_cores); ++k)
       runs.push_back({"map", am::measure::Resource::kCacheStorage, k, p,
@@ -54,8 +63,7 @@ int main(int argc, char** argv) {
                       20'000});
   }
   // Bottom: particle sweep at 1 process per processor.
-  for (const std::uint32_t particles :
-       {20'000u, 60'000u, 90'000u, 140'000u, 180'000u, 220'000u, 260'000u}) {
+  for (const std::uint32_t particles : particle_counts) {
     for (std::uint32_t k = 0; k <= max_cs; ++k)
       runs.push_back({"particles", am::measure::Resource::kCacheStorage, k, 1,
                       particles});

@@ -1,0 +1,29 @@
+# Shared warning/sanitizer flags for every target in the project.
+#
+# Defines the INTERFACE target `am_compile_options`; link it PRIVATE from
+# libraries and executables. Warnings are always on; -Werror and the
+# ASan/UBSan pair are opt-in via AM_WERROR / AM_SANITIZE so local builds
+# stay forgiving while CI is strict.
+
+add_library(am_compile_options INTERFACE)
+add_library(am::compile_options ALIAS am_compile_options)
+
+target_compile_features(am_compile_options INTERFACE cxx_std_20)
+
+set(AM_GNU_LIKE "$<COMPILE_LANG_AND_ID:CXX,GNU,Clang,AppleClang>")
+
+target_compile_options(am_compile_options INTERFACE
+  "$<${AM_GNU_LIKE}:-Wall;-Wextra;-Wpedantic;-Wshadow;-Wnon-virtual-dtor;-Wcast-align;-Wunused;-Woverloaded-virtual;-Wdouble-promotion>"
+  "$<$<COMPILE_LANG_AND_ID:CXX,MSVC>:/W4>")
+
+if(AM_WERROR)
+  target_compile_options(am_compile_options INTERFACE
+    "$<${AM_GNU_LIKE}:-Werror>"
+    "$<$<COMPILE_LANG_AND_ID:CXX,MSVC>:/WX>")
+endif()
+
+if(AM_SANITIZE)
+  set(AM_SAN_FLAGS -fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  target_compile_options(am_compile_options INTERFACE ${AM_SAN_FLAGS})
+  target_link_options(am_compile_options INTERFACE ${AM_SAN_FLAGS})
+endif()

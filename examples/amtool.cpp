@@ -45,7 +45,10 @@ int cmd_calibrate(const am::Cli& cli) {
   am::measure::CalibrationOptions copts;
   copts.buffer_to_l3_ratios = {2.5};
   copts.probe_distributions = {9};
-  copts.accesses_per_probe = 120'000;
+  copts.accesses_per_probe =
+      static_cast<std::uint64_t>(cli.get_int("accesses", 120'000));
+  copts.max_threads =
+      static_cast<std::uint32_t>(cli.get_int("max-threads", copts.max_threads));
   const auto cap = am::measure::calibrate_capacity(s.machine, s.cs, copts);
   const auto bw = am::measure::calibrate_bandwidth(s.machine, s.bw, 2);
   am::Table t({"threads", "L3 left (MB)", "BW left (GB/s)"});

@@ -3,10 +3,11 @@
 // advisor then predicts the cost of co-location — and we validate the
 // prediction by actually co-running the pair on the simulator.
 //
-// Build & run:  ./build/examples/coschedule_advisor
+// Build & run:  ./build/examples/coschedule_advisor [--scale N] [--accesses N]
 #include <cstdio>
 #include <memory>
 
+#include "common/cli.hpp"
 #include "measure/active_measurer.hpp"
 #include "measure/app_workloads.hpp"
 #include "measure/calibration.hpp"
@@ -15,20 +16,23 @@
 
 namespace {
 
-constexpr std::uint32_t kScale = 16;
-
 am::apps::SyntheticConfig make_app(const am::sim::MachineConfig& m,
-                                   double l3_fraction) {
+                                   double l3_fraction,
+                                   std::uint64_t accesses) {
   const auto elements = static_cast<std::uint64_t>(
       l3_fraction * static_cast<double>(m.l3.size_bytes) / 4.0);
   return am::apps::SyntheticConfig{
       am::model::AccessDistribution::uniform(elements, "Uni"), 4, 1,
-      elements * 2, 150'000};
+      elements * 2, accesses};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const am::Cli cli(argc, argv);
+  const auto kScale = static_cast<std::uint32_t>(cli.get_int("scale", 16));
+  const auto accesses =
+      static_cast<std::uint64_t>(cli.get_int("accesses", 150'000));
   const auto machine = am::sim::MachineConfig::xeon20mb_scaled(kScale);
   am::interfere::CSThrConfig cs;
   cs.buffer_bytes = 4ull * 1024 * 1024 / kScale;
@@ -38,7 +42,7 @@ int main() {
   am::measure::CalibrationOptions copts;
   copts.buffer_to_l3_ratios = {2.5};
   copts.probe_distributions = {9};
-  copts.accesses_per_probe = 100'000;
+  copts.accesses_per_probe = accesses * 2 / 3;  // 100k at the 150k default
   const auto cap_calib = am::measure::calibrate_capacity(machine, cs, copts);
   const auto bw_calib = am::measure::calibrate_bandwidth(machine, bw, 2);
 
@@ -47,8 +51,8 @@ int main() {
 
   // Profile two applications in isolation: one light (25% of L3), one
   // heavy (60% of L3).
-  const auto light_cfg = make_app(machine, 0.25);
-  const auto heavy_cfg = make_app(machine, 0.60);
+  const auto light_cfg = make_app(machine, 0.25, accesses);
+  const auto heavy_cfg = make_app(machine, 0.60, accesses);
   auto profile = [&](const char* name, const am::apps::SyntheticConfig& cfg) {
     const auto factory = am::measure::make_synthetic_workload(cfg);
     const auto cap_sweep = measurer.sweep(

@@ -4,25 +4,31 @@
 // each process a whole L3 but routes all messages over the memory bus.
 // Active Measurement quantifies both effects.
 //
-// Build & run:  ./build/examples/mcb_mapping_study
+// Build & run:  ./build/examples/mcb_mapping_study [--scale N]
+//               [--particles N] [--steps N]
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "measure/active_measurer.hpp"
 #include "measure/app_workloads.hpp"
 #include "measure/calibration.hpp"
 
-int main() {
-  constexpr std::uint32_t kScale = 16;
+int main(int argc, char** argv) {
+  const am::Cli cli(argc, argv);
+  const auto kScale = static_cast<std::uint32_t>(cli.get_int("scale", 16));
   const auto machine =
       am::sim::MachineConfig::xeon20mb_scaled(kScale, /*nodes=*/12);
   am::interfere::CSThrConfig cs;
   cs.buffer_bytes = 4ull * 1024 * 1024 / kScale;
 
-  auto cfg = am::apps::McbConfig::paper(/*particles=*/20'000, kScale);
-  cfg.steps = 3;
+  const auto particles =
+      static_cast<std::uint32_t>(cli.get_int("particles", 20'000));
+  auto cfg = am::apps::McbConfig::paper(particles, kScale);
+  cfg.steps = static_cast<std::uint32_t>(cli.get_int("steps", 3));
 
   am::measure::SimBackend backend(machine);
-  std::printf("MCB, 24 ranks, 20k particles on %s\n\n", machine.name.c_str());
+  std::printf("MCB, 24 ranks, %u particles on %s\n\n", particles,
+              machine.name.c_str());
   std::printf("%-14s %-12s %-16s %-18s\n", "p/processor", "nodes",
               "baseline (ms)", "+4 CSThr (ms)");
   for (const std::uint32_t p : {1u, 2u, 4u}) {

@@ -4,16 +4,21 @@
 // bandwidth per core) without owning such a machine. The sensitivity
 // curves measured via interference become a predictor.
 //
-// Build & run:  ./build/examples/predict_future_machine
+// Build & run:  ./build/examples/predict_future_machine [--scale N]
+//               [--accesses N]
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "measure/active_measurer.hpp"
 #include "measure/app_workloads.hpp"
 #include "measure/calibration.hpp"
 #include "model/distributions.hpp"
 
-int main() {
-  constexpr std::uint32_t kScale = 16;
+int main(int argc, char** argv) {
+  const am::Cli cli(argc, argv);
+  const auto kScale = static_cast<std::uint32_t>(cli.get_int("scale", 16));
+  const auto accesses =
+      static_cast<std::uint64_t>(cli.get_int("accesses", 200'000));
   const auto machine = am::sim::MachineConfig::xeon20mb_scaled(kScale);
   am::interfere::CSThrConfig cs;
   cs.buffer_bytes = 4ull * 1024 * 1024 / kScale;
@@ -23,7 +28,7 @@ int main() {
   am::measure::CalibrationOptions copts;
   copts.buffer_to_l3_ratios = {2.5};
   copts.probe_distributions = {9};
-  copts.accesses_per_probe = 100'000;
+  copts.accesses_per_probe = accesses / 2;
   const auto capacity = am::measure::calibrate_capacity(machine, cs, copts);
   const auto bandwidth = am::measure::calibrate_bandwidth(machine, bw, 2);
 
@@ -33,7 +38,7 @@ int main() {
       elements, 6.0 / static_cast<double>(elements), "Exp_6");
   const auto workload =
       am::measure::make_synthetic_workload(am::apps::SyntheticConfig{
-          dist, 4, 1, elements * 2, 200'000});
+          dist, 4, 1, elements * 2, accesses});
 
   am::measure::SimBackend backend(machine);
   am::measure::ActiveMeasurer measurer(backend, capacity, bandwidth);

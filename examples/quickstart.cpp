@@ -7,18 +7,23 @@
 //   3. The level where performance starts to degrade reveals the
 //      application's active capacity use.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/examples/quickstart [--scale N] [--accesses N]
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "measure/active_measurer.hpp"
 #include "measure/app_workloads.hpp"
 #include "measure/calibration.hpp"
 #include "model/distributions.hpp"
 
-int main() {
-  // A 1:16 scale model of the paper's Xeon20MB node (1.25 MB shared L3).
-  const auto machine = am::sim::MachineConfig::xeon20mb_scaled(16);
-  const std::uint32_t scale = 16;
+int main(int argc, char** argv) {
+  const am::Cli cli(argc, argv);
+  // Default: a 1:16 scale model of the paper's Xeon20MB node (1.25 MB L3).
+  const auto scale =
+      static_cast<std::uint32_t>(cli.get_int("scale", 16));
+  const auto accesses =
+      static_cast<std::uint64_t>(cli.get_int("accesses", 200'000));
+  const auto machine = am::sim::MachineConfig::xeon20mb_scaled(scale);
 
   am::interfere::CSThrConfig cs;
   cs.buffer_bytes = 4ull * 1024 * 1024 / scale;
@@ -30,7 +35,7 @@ int main() {
   am::measure::CalibrationOptions copts;
   copts.buffer_to_l3_ratios = {2.5};
   copts.probe_distributions = {9};  // uniform probe
-  copts.accesses_per_probe = 100'000;
+  copts.accesses_per_probe = accesses / 2;
   const auto capacity = am::measure::calibrate_capacity(machine, cs, copts);
   const auto bandwidth =
       am::measure::calibrate_bandwidth(machine, bw, /*max_threads=*/2);
@@ -45,7 +50,7 @@ int main() {
       elements, elements / 2.0, elements / 6.0, "Norm_6");
   const auto workload =
       am::measure::make_synthetic_workload(am::apps::SyntheticConfig{
-          dist, 4, /*compute_ops=*/1, /*warmup=*/elements * 2, 200'000});
+          dist, 4, /*compute_ops=*/1, /*warmup=*/elements * 2, accesses});
 
   am::measure::SimBackend backend(machine);
   am::measure::ActiveMeasurer measurer(backend, capacity, bandwidth);

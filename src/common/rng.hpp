@@ -51,8 +51,8 @@ class Rng {
   /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
   /// the tiny modulo bias is irrelevant for simulation workloads.
   std::uint64_t bounded(std::uint64_t bound) {
-    const unsigned __int128 m =
-        static_cast<unsigned __int128>(operator()()) * bound;
+    __extension__ using u128 = unsigned __int128;
+    const u128 m = static_cast<u128>(operator()()) * bound;
     return static_cast<std::uint64_t>(m >> 64);
   }
 

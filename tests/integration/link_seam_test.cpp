@@ -1,0 +1,57 @@
+// Build-system seam test: links every library layer into one binary and
+// instantiates at least one object per layer. Its job is to catch
+// missing-symbol, ODR, and dependency-edge breakage in the CMake
+// superstructure early — it fails at link time (or here, trivially at
+// runtime) long before any behavioural test would.
+#include <gtest/gtest.h>
+
+#include "apps/synthetic_benchmark.hpp"
+#include "common/rng.hpp"
+#include "interfere/csthr_agent.hpp"
+#include "measure/sim_backend.hpp"
+#include "minimpi/communicator.hpp"
+#include "minimpi/mapping.hpp"
+#include "model/distributions.hpp"
+#include "model/ehr_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/memory_system.hpp"
+
+namespace am {
+namespace {
+
+TEST(LinkSeam, EveryLayerLinksAndConstructs) {
+  // common
+  Rng rng(1);
+  EXPECT_NE(rng(), rng());
+
+  // sim
+  sim::MachineConfig machine = sim::MachineConfig::xeon20mb_scaled(64);
+  sim::Engine engine(machine);
+  sim::MemorySystem memory(machine);
+
+  // model
+  const auto dist = model::AccessDistribution::uniform(1024, "uni");
+  const model::EhrModel ehr(dist, 4);
+  EXPECT_GT(ehr.concentration(), 0.0);
+
+  // interfere
+  interfere::CSThrAgent csthr(memory, interfere::CSThrConfig{});
+  EXPECT_EQ(csthr.operations(), 0u);
+
+  // minimpi
+  minimpi::Mapping mapping(machine, 2, 1);
+  minimpi::Communicator comm(engine, mapping);
+  EXPECT_EQ(comm.total_bytes_sent(), 0u);
+
+  // apps
+  apps::SyntheticConfig synth_cfg{.dist = dist, .measured_accesses = 1};
+  apps::SyntheticBenchmarkAgent synth(memory, synth_cfg);
+  EXPECT_FALSE(synth.finished());
+
+  // measure
+  measure::SimBackend backend(machine);
+  EXPECT_EQ(backend.machine().nodes, machine.nodes);
+}
+
+}  // namespace
+}  // namespace am

@@ -63,7 +63,9 @@ TEST(HostBackend, PerfCountersOptional) {
   const auto result = backend.run([] {}, opts);
   // Either we got counters (bare metal) or we gracefully got nullopt
   // (container); both are valid outcomes.
-  if (result.counters) EXPECT_GT(result.counters->cycles, 0u);
+  if (result.counters) {
+    EXPECT_GT(result.counters->cycles, 0u);
+  }
   opts.use_perf_counters = false;
   const auto result2 = backend.run([] {}, opts);
   EXPECT_FALSE(result2.counters.has_value());

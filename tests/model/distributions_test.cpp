@@ -98,9 +98,9 @@ TEST_P(Table2Test, EmpiricalConcentrationMatchesAnalytic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTable2, Table2Test, ::testing::Range(0, 10),
-                         [](const ::testing::TestParamInfo<int>& info) {
+                         [](const ::testing::TestParamInfo<int>& param_info) {
                            return AccessDistribution::table2(1000)
-                               [static_cast<std::size_t>(info.param)]
+                               [static_cast<std::size_t>(param_info.param)]
                                    .name();
                          });
 

@@ -132,7 +132,9 @@ TEST(MissRateCurve, CapacityForMissRateInvertsCurve) {
   const auto c = mrc.capacity_for_miss_rate(0.5);
   ASSERT_NE(c, UINT64_MAX);
   EXPECT_LE(mrc.miss_rate(c), 0.5);
-  if (c > 0) EXPECT_GT(mrc.miss_rate(c - 1), 0.5);
+  if (c > 0) {
+    EXPECT_GT(mrc.miss_rate(c - 1), 0.5);
+  }
 }
 
 TEST(MissRateCurve, WarmMissRateExcludesCold) {
@@ -149,7 +151,9 @@ TEST(MissRateCurve, GrowAcrossRebuildKeepsDistances) {
   for (int round = 0; round < 40; ++round)
     for (std::uint64_t line = 0; line < 50; ++line) {
       const auto d = a.access(line);
-      if (round > 0) ASSERT_EQ(d, 49u) << round << " " << line;
+      if (round > 0) {
+        ASSERT_EQ(d, 49u) << round << " " << line;
+      }
     }
 }
 

@@ -85,8 +85,9 @@ TEST(Cache, SharerMaskAccumulates) {
   Cache::AccessOutcome out;
   for (Addr line = 7; line <= 19; line += 4) {
     out = cache.access(line, 0);
-    if (out.evicted && out.evicted_line == 3)
+    if (out.evicted && out.evicted_line == 3) {
       EXPECT_EQ(out.evicted_sharers, 0b11u);
+    }
   }
 }
 

@@ -33,10 +33,11 @@ TEST_P(InclusivityTest, PrivateLinesAlwaysInL3) {
       for (int s = 0; s < 50; ++s) {
         const Addr line = (base >> 6) + rng.bounded(lines);
         for (CoreId c = 0; c < 4; ++c) {
-          if (ms.l1(c).contains(line) || ms.l2(c).contains(line))
+          if (ms.l1(c).contains(line) || ms.l2(c).contains(line)) {
             ASSERT_TRUE(ms.l3(0).contains(line))
                 << "line " << line << " in private cache of core " << c
                 << " but not in L3 (iteration " << i << ")";
+          }
         }
       }
     }
@@ -63,8 +64,9 @@ TEST(Inclusivity, ExhaustiveSmallCheck) {
   for (CoreId c = 0; c < 8; ++c) {
     for (std::uint64_t l = 0; l < (1 << 14); ++l) {
       const Addr line = (base >> 6) + l;
-      if (ms.l1(c).contains(line) || ms.l2(c).contains(line))
+      if (ms.l1(c).contains(line) || ms.l2(c).contains(line)) {
         ASSERT_TRUE(ms.l3(0).contains(line)) << "core " << c << " line " << l;
+      }
     }
   }
 }
