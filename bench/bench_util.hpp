@@ -6,6 +6,8 @@
 #include <iostream>
 #include <string>
 
+#include <vector>
+
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -14,6 +16,7 @@
 #include "common/units.hpp"
 #include "interfere/bwthr_agent.hpp"
 #include "interfere/csthr_agent.hpp"
+#include "measure/experiment_plan.hpp"
 #include "model/ehr_model.hpp"
 #include "sim/engine.hpp"
 
@@ -80,6 +83,50 @@ inline void emit(const Table& table, const BenchContext& ctx,
       std::cout << "csv written to " << ctx.csv_path << "\n";
     else
       std::cerr << "failed to write " << ctx.csv_path << "\n";
+  }
+}
+
+/// One row group of a degradation table (fig9/fig11): a plan workload plus
+/// the axis value (mapping, particle count, cube edge) it varies.
+struct DegradationRow {
+  measure::WorkloadId workload;
+  std::string label;
+  std::uint32_t axis;
+};
+
+/// Slowdown column entry; "n/a" when the baseline run is absent (e.g. a
+/// trimmed sweep) instead of a division by a defaulted zero.
+inline std::string slowdown_cell(const measure::ResultTable& table,
+                                 measure::WorkloadId w, measure::Resource r,
+                                 std::uint32_t k) {
+  if (!table.has_baseline(w)) return "n/a";
+  return Table::num(table.slowdown(w, r, k), 3);
+}
+
+/// Emits one table per resource for the rows matching `label`, iterating
+/// thread counts straight out of the ResultTable (bandwidth tables skip
+/// the k = 0 baseline row, as the paper's figures do).
+inline void emit_degradation_tables(const measure::ResultTable& table,
+                                    const std::vector<DegradationRow>& rows,
+                                    const std::string& label,
+                                    const char* axis_name,
+                                    const std::string& title_prefix,
+                                    const BenchContext& ctx) {
+  for (const auto resource :
+       {measure::Resource::kCacheStorage, measure::Resource::kBandwidth}) {
+    Table t({axis_name, "threads", "time (ms)", "slowdown"});
+    for (const auto& row : rows) {
+      if (row.label != label) continue;
+      const std::uint32_t first =
+          resource == measure::Resource::kBandwidth ? 1 : 0;
+      for (std::uint32_t k = first; table.has(row.workload, resource, k); ++k)
+        t.add_row(
+            {std::to_string(row.axis), std::to_string(k),
+             Table::num(table.at(row.workload, resource, k).seconds * 1e3, 2),
+             slowdown_cell(table, row.workload, resource, k)});
+    }
+    emit(t, ctx,
+         title_prefix + measure::resource_name(resource) + " interference");
   }
 }
 

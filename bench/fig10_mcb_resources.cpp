@@ -41,27 +41,32 @@ int main(int argc, char** argv) {
 
   am::measure::SimBackend backend(ctx.machine, ctx.seed);
   am::measure::ActiveMeasurer measurer(backend, cap_calib, bw_calib);
+  am::ThreadPool pool;
+  measurer.set_pool(&pool);
 
   auto cfg = am::apps::McbConfig::paper(particles, ctx.scale);
   cfg.steps = steps;
 
+  // One grid for every mapping: both resources of one mapping share a
+  // single baseline run, and the whole plan runs over the pool at once.
+  std::vector<am::measure::GridRequest> requests;
+  for (const std::uint32_t p : mappings)
+    requests.push_back({am::measure::make_mcb_workload(ranks, p, cfg),
+                        "p=" + std::to_string(p),
+                        std::min(sweep_cs, ctx.machine.cores_per_socket - p),
+                        std::min(sweep_bw, ctx.machine.cores_per_socket - p)});
+  const auto sweeps =
+      measurer.sweep_grid(requests, ctx.cs_config(), ctx.bw_config());
+
   const double mb = 1024.0 * 1024.0;
   am::Table t({"p/processor", "capacity lo (MB)", "capacity hi (MB)",
                "bandwidth lo (GB/s)", "bandwidth hi (GB/s)"});
-  for (const std::uint32_t p : mappings) {
-    const auto factory = am::measure::make_mcb_workload(ranks, p, cfg);
-    const auto cs_sweep = measurer.sweep(
-        factory, am::measure::Resource::kCacheStorage,
-        std::min(sweep_cs, ctx.machine.cores_per_socket - p), ctx.cs_config(),
-        ctx.bw_config());
-    const auto bw_sweep = measurer.sweep(
-        factory, am::measure::Resource::kBandwidth,
-        std::min(sweep_bw, ctx.machine.cores_per_socket - p), ctx.cs_config(),
-        ctx.bw_config());
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    const std::uint32_t p = mappings[i];
     const auto cs_bounds =
-        am::measure::ActiveMeasurer::bounds(cs_sweep, p, tolerance);
+        am::measure::ActiveMeasurer::bounds(sweeps[i].storage, p, tolerance);
     const auto bw_bounds =
-        am::measure::ActiveMeasurer::bounds(bw_sweep, p, tolerance);
+        am::measure::ActiveMeasurer::bounds(sweeps[i].bandwidth, p, tolerance);
     auto cap_str = [&](double v) {
       return am::Table::num(v / mb * ctx.scale, 2);  // rescaled to 20MB L3
     };

@@ -7,23 +7,12 @@
 // degrade < 5% for 1-2 CSThrs but > 10% at 5; larger cubes degrade with
 // any storage interference; bandwidth interference costs > 10% for cubes
 // 32 and 36.
-#include <atomic>
-
 #include "bench_util.hpp"
 #include "measure/app_workloads.hpp"
-#include "measure/sim_backend.hpp"
+#include "measure/experiment_plan.hpp"
 
 namespace {
-
-struct Run {
-  std::string label;
-  am::measure::Resource resource;
-  std::uint32_t threads;
-  std::uint32_t per_socket;
-  std::uint32_t edge;
-  double seconds = 0.0;
-};
-
+using am::measure::Resource;
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -42,91 +31,47 @@ int main(int argc, char** argv) {
       quick ? std::vector<std::uint32_t>{22, 30}
             : std::vector<std::uint32_t>{22, 25, 28, 30, 32, 36};
 
-  am::measure::SimBackend backend(ctx.machine, ctx.seed);
   auto lulesh_cfg = [&](std::uint32_t edge) {
     auto cfg = am::apps::LuleshConfig::paper(edge, ctx.scale);
     cfg.steps = steps;
     return cfg;
   };
 
-  std::vector<Run> runs;
+  am::measure::ExperimentPlan plan;
+  std::vector<am::bench::DegradationRow> rows;
   for (const std::uint32_t p : mappings) {
     const std::uint32_t free_cores = ctx.machine.cores_per_socket - p;
-    for (std::uint32_t k = 0; k <= std::min(max_cs, free_cores); ++k)
-      runs.push_back({"map", am::measure::Resource::kCacheStorage, k, p, 22});
-    for (std::uint32_t k = 1; k <= std::min(max_bw, free_cores); ++k)
-      runs.push_back({"map", am::measure::Resource::kBandwidth, k, p, 22});
+    const auto id = plan.add_workload(
+        {"map p=" + std::to_string(p),
+         am::measure::make_lulesh_workload(ranks, p, lulesh_cfg(22))});
+    plan.add_sweep(id, Resource::kCacheStorage, 0,
+                   std::min(max_cs, free_cores));
+    plan.add_sweep(id, Resource::kBandwidth, 0, std::min(max_bw, free_cores));
+    rows.push_back({id, "map", p});
   }
   for (const std::uint32_t edge : edges) {
-    for (std::uint32_t k = 0; k <= max_cs; ++k)
-      runs.push_back({"cube", am::measure::Resource::kCacheStorage, k, 1,
-                      edge});
-    for (std::uint32_t k = 1; k <= max_bw; ++k)
-      runs.push_back({"cube", am::measure::Resource::kBandwidth, k, 1, edge});
+    const auto id = plan.add_workload(
+        {"cube " + std::to_string(edge) + "^3",
+         am::measure::make_lulesh_workload(ranks, 1, lulesh_cfg(edge))});
+    plan.add_sweep(id, Resource::kCacheStorage, 0, max_cs);
+    plan.add_sweep(id, Resource::kBandwidth, 0, max_bw);
+    rows.push_back({id, "cube", edge});
   }
 
+  am::measure::SweepRunnerOptions opts;
+  opts.seed = ctx.seed;
+  opts.mix_seed_per_point = false;  // all levels share the workload seed
+  opts.cs = ctx.cs_config();
+  opts.bw = ctx.bw_config();
+  const am::measure::SweepRunner runner(ctx.machine, opts);
   am::ThreadPool pool;
-  for (auto& run : runs) {
-    pool.submit([&ctx, &backend, &lulesh_cfg, &run, ranks] {
-      am::measure::InterferenceSpec spec =
-          run.resource == am::measure::Resource::kCacheStorage
-              ? am::measure::InterferenceSpec::storage(run.threads,
-                                                       ctx.cs_config())
-              : am::measure::InterferenceSpec::bandwidth(run.threads,
-                                                         ctx.bw_config());
-      const auto result = backend.run(
-          am::measure::make_lulesh_workload(ranks, run.per_socket,
-                                            lulesh_cfg(run.edge)),
-          spec);
-      run.seconds = result.seconds;
-    });
-  }
-  pool.wait_idle();
+  const auto table = runner.run(plan, &pool);
 
-  auto baseline = [&](const std::string& label, std::uint32_t p,
-                      std::uint32_t edge) {
-    for (const auto& r : runs)
-      if (r.label == label && r.per_socket == p && r.edge == edge &&
-          r.threads == 0 &&
-          r.resource == am::measure::Resource::kCacheStorage)
-        return r.seconds;
-    return 0.0;
-  };
-
-  for (const auto resource : {am::measure::Resource::kCacheStorage,
-                              am::measure::Resource::kBandwidth}) {
-    am::Table t({"p/processor", "threads", "time (ms)", "slowdown"});
-    for (const auto& r : runs) {
-      if (r.label != "map" || r.resource != resource) continue;
-      if (resource == am::measure::Resource::kBandwidth && r.threads == 0)
-        continue;
-      t.add_row({std::to_string(r.per_socket), std::to_string(r.threads),
-                 am::Table::num(r.seconds * 1e3, 2),
-                 am::Table::num(r.seconds / baseline("map", r.per_socket, 22),
-                                3)});
-    }
-    am::bench::emit(t, ctx,
-                    std::string("Fig. 11 top: Lulesh 22^3, mapping sweep vs ") +
-                        am::measure::resource_name(resource) +
-                        " interference");
-  }
-
-  for (const auto resource : {am::measure::Resource::kCacheStorage,
-                              am::measure::Resource::kBandwidth}) {
-    am::Table t({"cube edge", "threads", "time (ms)", "slowdown"});
-    for (const auto& r : runs) {
-      if (r.label != "cube" || r.resource != resource) continue;
-      if (resource == am::measure::Resource::kBandwidth && r.threads == 0)
-        continue;
-      t.add_row({std::to_string(r.edge), std::to_string(r.threads),
-                 am::Table::num(r.seconds * 1e3, 2),
-                 am::Table::num(r.seconds / baseline("cube", 1, r.edge), 3)});
-    }
-    am::bench::emit(t, ctx,
-                    std::string("Fig. 11 bottom: Lulesh cube sweep (1 "
-                                "process/processor) vs ") +
-                        am::measure::resource_name(resource) +
-                        " interference");
-  }
+  am::bench::emit_degradation_tables(
+      table, rows, "map", "p/processor",
+      "Fig. 11 top: Lulesh 22^3, mapping sweep vs ", ctx);
+  am::bench::emit_degradation_tables(
+      table, rows, "cube", "cube edge",
+      "Fig. 11 bottom: Lulesh cube sweep (1 process/processor) vs ", ctx);
   return 0;
 }

@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   // --quick trims calibration and the cube/mapping sweeps for smoke runs.
   const bool quick = cli.get_bool("quick", false);
   const std::vector<std::uint32_t> edges =
-      quick ? std::vector<std::uint32_t>{22} : std::vector<std::uint32_t>{22, 36};
+      quick ? std::vector<std::uint32_t>{22}
+            : std::vector<std::uint32_t>{22, 36};
   const std::vector<std::uint32_t> mappings =
       quick ? std::vector<std::uint32_t>{1, 4}
             : std::vector<std::uint32_t>{1, 2, 4};
@@ -39,27 +40,36 @@ int main(int argc, char** argv) {
 
   am::measure::SimBackend backend(ctx.machine, ctx.seed);
   am::measure::ActiveMeasurer measurer(backend, cap_calib, bw_calib);
+  am::ThreadPool pool;
+  measurer.set_pool(&pool);
 
-  const double mb = 1024.0 * 1024.0;
+  // Every (edge × mapping) cell goes into one grid: both resources of a
+  // cell share one baseline run and the whole plan runs over the pool.
+  std::vector<am::measure::GridRequest> requests;
   for (const std::uint32_t edge : edges) {
     auto cfg = am::apps::LuleshConfig::paper(edge, ctx.scale);
     cfg.steps = steps;
+    for (const std::uint32_t p : mappings)
+      requests.push_back(
+          {am::measure::make_lulesh_workload(ranks, p, cfg),
+           std::to_string(edge) + "^3 p=" + std::to_string(p),
+           std::min(sweep_cs, ctx.machine.cores_per_socket - p),
+           std::min(sweep_bw, ctx.machine.cores_per_socket - p)});
+  }
+  const auto sweeps =
+      measurer.sweep_grid(requests, ctx.cs_config(), ctx.bw_config());
+
+  const double mb = 1024.0 * 1024.0;
+  std::size_t cell = 0;
+  for (const std::uint32_t edge : edges) {
     am::Table t({"p/processor", "capacity lo (MB)", "capacity hi (MB)",
                  "bandwidth lo (GB/s)", "bandwidth hi (GB/s)"});
     for (const std::uint32_t p : mappings) {
-      const auto factory = am::measure::make_lulesh_workload(ranks, p, cfg);
-      const auto cs_sweep = measurer.sweep(
-          factory, am::measure::Resource::kCacheStorage,
-          std::min(sweep_cs, ctx.machine.cores_per_socket - p),
-          ctx.cs_config(), ctx.bw_config());
-      const auto bw_sweep = measurer.sweep(
-          factory, am::measure::Resource::kBandwidth,
-          std::min(sweep_bw, ctx.machine.cores_per_socket - p),
-          ctx.cs_config(), ctx.bw_config());
+      const auto& grid = sweeps[cell++];
       const auto cs_bounds =
-          am::measure::ActiveMeasurer::bounds(cs_sweep, p, tolerance);
+          am::measure::ActiveMeasurer::bounds(grid.storage, p, tolerance);
       const auto bw_bounds =
-          am::measure::ActiveMeasurer::bounds(bw_sweep, p, tolerance);
+          am::measure::ActiveMeasurer::bounds(grid.bandwidth, p, tolerance);
       auto cap_str = [&](double v) {
         return am::Table::num(v / mb * ctx.scale, 2);
       };

@@ -8,23 +8,12 @@
 // CSThrs it takes to degrade; (b) with 20k-260k particles, <= 3 CSThrs
 // cause little degradation while 4-5 cause ~20-25%; (c) BW interference
 // impact grows to ~90k particles, then falls as MCB becomes compute-bound.
-#include <atomic>
-
 #include "bench_util.hpp"
 #include "measure/app_workloads.hpp"
-#include "measure/sim_backend.hpp"
+#include "measure/experiment_plan.hpp"
 
 namespace {
-
-struct Run {
-  std::string label;
-  am::measure::Resource resource;
-  std::uint32_t threads;
-  std::uint32_t per_socket;
-  std::uint32_t particles;
-  double seconds = 0.0;
-};
-
+using am::measure::Resource;
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -44,98 +33,51 @@ int main(int argc, char** argv) {
             : std::vector<std::uint32_t>{20'000, 60'000, 90'000, 140'000,
                                          180'000, 220'000, 260'000};
 
-  am::measure::SimBackend backend(ctx.machine, ctx.seed);
   auto mcb_cfg = [&](std::uint32_t particles) {
     auto cfg = am::apps::McbConfig::paper(particles, ctx.scale);
     cfg.steps = steps;
     return cfg;
   };
 
-  std::vector<Run> runs;
+  // Declare the whole grid once; the runner owns pooling, seeds and the
+  // baseline table.
+  am::measure::ExperimentPlan plan;
+  std::vector<am::bench::DegradationRow> rows;
   // Top: mapping sweep at 20k particles.
   for (const std::uint32_t p : mappings) {
     const std::uint32_t free_cores = ctx.machine.cores_per_socket - p;
-    for (std::uint32_t k = 0; k <= std::min(max_cs, free_cores); ++k)
-      runs.push_back({"map", am::measure::Resource::kCacheStorage, k, p,
-                      20'000});
-    for (std::uint32_t k = 1; k <= std::min(max_bw, free_cores); ++k)
-      runs.push_back({"map", am::measure::Resource::kBandwidth, k, p,
-                      20'000});
+    const auto id = plan.add_workload(
+        {"map p=" + std::to_string(p),
+         am::measure::make_mcb_workload(ranks, p, mcb_cfg(20'000))});
+    plan.add_sweep(id, Resource::kCacheStorage, 0,
+                   std::min(max_cs, free_cores));
+    plan.add_sweep(id, Resource::kBandwidth, 0, std::min(max_bw, free_cores));
+    rows.push_back({id, "map", p});
   }
   // Bottom: particle sweep at 1 process per processor.
   for (const std::uint32_t particles : particle_counts) {
-    for (std::uint32_t k = 0; k <= max_cs; ++k)
-      runs.push_back({"particles", am::measure::Resource::kCacheStorage, k, 1,
-                      particles});
-    for (std::uint32_t k = 1; k <= max_bw; ++k)
-      runs.push_back({"particles", am::measure::Resource::kBandwidth, k, 1,
-                      particles});
+    const auto id = plan.add_workload(
+        {"particles=" + std::to_string(particles),
+         am::measure::make_mcb_workload(ranks, 1, mcb_cfg(particles))});
+    plan.add_sweep(id, Resource::kCacheStorage, 0, max_cs);
+    plan.add_sweep(id, Resource::kBandwidth, 0, max_bw);
+    rows.push_back({id, "particles", particles});
   }
 
+  am::measure::SweepRunnerOptions opts;
+  opts.seed = ctx.seed;
+  opts.mix_seed_per_point = false;  // all levels share the workload seed
+  opts.cs = ctx.cs_config();
+  opts.bw = ctx.bw_config();
+  const am::measure::SweepRunner runner(ctx.machine, opts);
   am::ThreadPool pool;
-  for (auto& run : runs) {
-    pool.submit([&ctx, &backend, &mcb_cfg, &run, ranks] {
-      am::measure::InterferenceSpec spec =
-          run.resource == am::measure::Resource::kCacheStorage
-              ? am::measure::InterferenceSpec::storage(run.threads,
-                                                       ctx.cs_config())
-              : am::measure::InterferenceSpec::bandwidth(run.threads,
-                                                         ctx.bw_config());
-      const auto result = backend.run(
-          am::measure::make_mcb_workload(ranks, run.per_socket,
-                                         mcb_cfg(run.particles)),
-          spec);
-      run.seconds = result.seconds;
-    });
-  }
-  pool.wait_idle();
+  const auto table = runner.run(plan, &pool);
 
-  auto baseline = [&](const std::string& label, std::uint32_t p,
-                      std::uint32_t particles) {
-    for (const auto& r : runs)
-      if (r.label == label && r.per_socket == p && r.particles == particles &&
-          r.threads == 0 &&
-          r.resource == am::measure::Resource::kCacheStorage)
-        return r.seconds;
-    return 0.0;
-  };
-
-  for (const auto resource : {am::measure::Resource::kCacheStorage,
-                              am::measure::Resource::kBandwidth}) {
-    am::Table t({"p/processor", "threads", "time (ms)", "slowdown"});
-    for (const auto& r : runs) {
-      if (r.label != "map" || r.resource != resource) continue;
-      if (resource == am::measure::Resource::kBandwidth && r.threads == 0)
-        continue;
-      const double base = baseline("map", r.per_socket, 20'000);
-      t.add_row({std::to_string(r.per_socket), std::to_string(r.threads),
-                 am::Table::num(r.seconds * 1e3, 2),
-                 am::Table::num(r.seconds / base, 3)});
-    }
-    am::bench::emit(t, ctx,
-                    std::string("Fig. 9 top: MCB 20k particles, mapping "
-                                "sweep vs ") +
-                        am::measure::resource_name(resource) +
-                        " interference");
-  }
-
-  for (const auto resource : {am::measure::Resource::kCacheStorage,
-                              am::measure::Resource::kBandwidth}) {
-    am::Table t({"particles", "threads", "time (ms)", "slowdown"});
-    for (const auto& r : runs) {
-      if (r.label != "particles" || r.resource != resource) continue;
-      if (resource == am::measure::Resource::kBandwidth && r.threads == 0)
-        continue;
-      const double base = baseline("particles", 1, r.particles);
-      t.add_row({std::to_string(r.particles), std::to_string(r.threads),
-                 am::Table::num(r.seconds * 1e3, 2),
-                 am::Table::num(r.seconds / base, 3)});
-    }
-    am::bench::emit(t, ctx,
-                    std::string("Fig. 9 bottom: MCB particle sweep (1 "
-                                "process/processor) vs ") +
-                        am::measure::resource_name(resource) +
-                        " interference");
-  }
+  am::bench::emit_degradation_tables(
+      table, rows, "map", "p/processor",
+      "Fig. 9 top: MCB 20k particles, mapping sweep vs ", ctx);
+  am::bench::emit_degradation_tables(
+      table, rows, "particles", "particles",
+      "Fig. 9 bottom: MCB particle sweep (1 process/processor) vs ", ctx);
   return 0;
 }

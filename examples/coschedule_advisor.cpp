@@ -48,27 +48,30 @@ int main(int argc, char** argv) {
 
   am::measure::SimBackend backend(machine);
   am::measure::ActiveMeasurer measurer(backend, cap_calib, bw_calib);
+  am::ThreadPool pool;
+  measurer.set_pool(&pool);
 
   // Profile two applications in isolation: one light (25% of L3), one
-  // heavy (60% of L3).
+  // heavy (60% of L3). Both profiles go into one experiment grid, so each
+  // app's storage and bandwidth sweeps share a single baseline run and the
+  // whole plan executes over the pool at once.
   const auto light_cfg = make_app(machine, 0.25, accesses);
   const auto heavy_cfg = make_app(machine, 0.60, accesses);
-  auto profile = [&](const char* name, const am::apps::SyntheticConfig& cfg) {
-    const auto factory = am::measure::make_synthetic_workload(cfg);
-    const auto cap_sweep = measurer.sweep(
-        factory, am::measure::Resource::kCacheStorage, 5, cs, bw);
-    const auto bw_sweep = measurer.sweep(
-        factory, am::measure::Resource::kBandwidth, 2, cs, bw);
-    auto p = am::measure::AppProfile::from_sweeps(name, cap_sweep, bw_sweep,
-                                                  1);
+  const auto sweeps = measurer.sweep_grid(
+      {{am::measure::make_synthetic_workload(light_cfg), "light", 5, 2},
+       {am::measure::make_synthetic_workload(heavy_cfg), "heavy", 5, 2}},
+      cs, bw);
+  auto profile = [](const char* name, const am::measure::GridSweeps& s) {
+    auto p = am::measure::AppProfile::from_sweeps(name, s.storage,
+                                                  s.bandwidth, 1);
     std::printf("  %-6s uses %.2f-%.2f MB of L3 (baseline %.2f ms)\n", name,
                 p.capacity.lower / 1e6, p.capacity.upper / 1e6,
-                cap_sweep.points.front().seconds * 1e3);
-    return std::pair{p, cap_sweep.points.front().seconds};
+                s.storage.points.front().seconds * 1e3);
+    return std::pair{p, s.storage.points.front().seconds};
   };
   std::printf("Profiling in isolation on %s:\n", machine.name.c_str());
-  const auto [light, light_base] = profile("light", light_cfg);
-  const auto [heavy, heavy_base] = profile("heavy", heavy_cfg);
+  const auto [light, light_base] = profile("light", sweeps[0]);
+  const auto [heavy, heavy_base] = profile("heavy", sweeps[1]);
 
   const am::measure::CoScheduleAdvisor advisor(
       static_cast<double>(machine.l3.size_bytes),

@@ -7,11 +7,12 @@
 // Build & run:  ./build/examples/mcb_mapping_study [--scale N]
 //               [--particles N] [--steps N]
 #include <cstdio>
+#include <vector>
 
 #include "common/cli.hpp"
-#include "measure/active_measurer.hpp"
+#include "common/thread_pool.hpp"
 #include "measure/app_workloads.hpp"
-#include "measure/calibration.hpp"
+#include "measure/experiment_plan.hpp"
 
 int main(int argc, char** argv) {
   const am::Cli cli(argc, argv);
@@ -26,21 +27,43 @@ int main(int argc, char** argv) {
   auto cfg = am::apps::McbConfig::paper(particles, kScale);
   cfg.steps = static_cast<std::uint32_t>(cli.get_int("steps", 3));
 
-  am::measure::SimBackend backend(machine);
+  // Declare the whole mapping study as one plan: the runner owns the
+  // thread pool, per-experiment seeds and the baseline table.
+  const std::vector<std::uint32_t> mappings{1, 2, 4};
+  am::measure::ExperimentPlan plan;
+  std::vector<std::pair<am::measure::WorkloadId, std::uint32_t>> cells;
+  for (const std::uint32_t p : mappings) {
+    const auto id = plan.add_workload(
+        {"p=" + std::to_string(p),
+         am::measure::make_mcb_workload(24, p, cfg)});
+    const std::uint32_t k = std::min(4u, machine.cores_per_socket - p);
+    plan.add_point(id, am::measure::Resource::kCacheStorage, 0);
+    plan.add_point(id, am::measure::Resource::kCacheStorage, k);
+    cells.emplace_back(id, k);
+  }
+
+  am::measure::SweepRunnerOptions opts;
+  opts.mix_seed_per_point = false;  // baseline and interfered share a seed
+  opts.cs = cs;
+  const am::measure::SweepRunner runner(machine, opts);
+  am::ThreadPool pool;
+  const auto table = runner.run(plan, &pool);
+
   std::printf("MCB, 24 ranks, %u particles on %s\n\n", particles,
               machine.name.c_str());
   std::printf("%-14s %-12s %-16s %-18s\n", "p/processor", "nodes",
               "baseline (ms)", "+4 CSThr (ms)");
-  for (const std::uint32_t p : {1u, 2u, 4u}) {
-    const auto factory = am::measure::make_mcb_workload(24, p, cfg);
-    const auto base =
-        backend.run(factory, am::measure::InterferenceSpec::none());
-    const auto interfered = backend.run(
-        factory, am::measure::InterferenceSpec::storage(
-                     std::min(4u, machine.cores_per_socket - p), cs));
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    const std::uint32_t p = mappings[i];
+    const auto& [id, k] = cells[i];
+    const auto& base = table.baseline(id);
+    const auto& interfered =
+        table.at(id, am::measure::Resource::kCacheStorage, k);
     std::printf("%-14u %-12u %-16.3f %-10.3f (+%.1f%%)\n", p, 24 / (2 * p),
                 base.seconds * 1e3, interfered.seconds * 1e3,
-                (interfered.seconds / base.seconds - 1.0) * 100.0);
+                (table.slowdown(id, am::measure::Resource::kCacheStorage, k) -
+                 1.0) *
+                    100.0);
   }
   std::printf(
       "\nReading the table: if packed mappings degrade at fewer CSThrs,\n"

@@ -50,6 +50,10 @@ Summary summarize(std::span<const double> xs) {
 
 double percentile(std::span<const double> xs, double p) {
   if (xs.empty()) throw std::invalid_argument("percentile of empty sample");
+  // !(p >= 0 && p <= 100) rather than (p < 0 || p > 100) so NaN is rejected
+  // too; out-of-range p would index past the end of `sorted` below.
+  if (!(p >= 0.0 && p <= 100.0))
+    throw std::invalid_argument("percentile: p must be in [0, 100]");
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);

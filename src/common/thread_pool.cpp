@@ -1,5 +1,6 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 namespace am {
@@ -58,7 +59,18 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < n; ++i) pool.submit([&fn, i] { fn(i); });
+  parallel_for(pool, n, 1, fn);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn) {
+  if (grain == 0) grain = 1;
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(begin + grain, n);
+    pool.submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
   pool.wait_idle();
 }
 

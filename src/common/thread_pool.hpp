@@ -44,4 +44,11 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 
+/// Chunked overload: splits [0, n) into contiguous chunks of up to `grain`
+/// indices and submits one task per chunk, so large grids pay one queue
+/// round-trip per chunk instead of per index. fn still runs once per index,
+/// in order within each chunk.
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn);
+
 }  // namespace am

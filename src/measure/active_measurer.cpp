@@ -24,37 +24,84 @@ ActiveMeasurer::ActiveMeasurer(SimBackend& backend,
       capacity_(std::move(capacity)),
       bandwidth_(std::move(bandwidth)) {}
 
-SweepResult ActiveMeasurer::sweep(const SimBackend::WorkloadFactory& factory,
-                                  Resource resource,
-                                  std::uint32_t max_threads,
-                                  const interfere::CSThrConfig& cs,
-                                  const interfere::BWThrConfig& bw) {
-  const auto& avail_table = resource == Resource::kCacheStorage
-                                ? capacity_.available_bytes
-                                : std::vector<double>{};
+void ActiveMeasurer::check_calibration(Resource resource,
+                                       std::uint32_t max_threads) const {
   if (resource == Resource::kCacheStorage &&
       max_threads >= capacity_.available_bytes.size())
     throw std::invalid_argument("sweep: capacity calibration too short");
   if (resource == Resource::kBandwidth &&
       max_threads >= bandwidth_.used_bytes_per_sec.size())
     throw std::invalid_argument("sweep: bandwidth calibration too short");
-  (void)avail_table;
+}
 
+double ActiveMeasurer::availability(Resource resource, std::uint32_t k) const {
+  return resource == Resource::kCacheStorage ? capacity_.available_bytes.at(k)
+                                             : bandwidth_.available(k);
+}
+
+SweepResult ActiveMeasurer::assemble(const ResultTable& table,
+                                     WorkloadId workload, Resource resource,
+                                     std::uint32_t max_threads) const {
   SweepResult out;
   out.resource = resource;
   for (std::uint32_t k = 0; k <= max_threads; ++k) {
-    InterferenceSpec spec = resource == Resource::kCacheStorage
-                                ? InterferenceSpec::storage(k, cs)
-                                : InterferenceSpec::bandwidth(k, bw);
-    const SimRunResult run = backend_->run(factory, spec);
     SweepPoint pt;
     pt.threads = k;
-    pt.seconds = run.seconds;
-    pt.resource_available = resource == Resource::kCacheStorage
-                                ? capacity_.available_bytes.at(k)
-                                : bandwidth_.available(k);
+    pt.seconds = table.at(workload, resource, k).seconds;
+    pt.resource_available = availability(resource, k);
     out.points.push_back(pt);
   }
+  return out;
+}
+
+SweepResult ActiveMeasurer::sweep(const SimBackend::WorkloadFactory& factory,
+                                  Resource resource,
+                                  std::uint32_t max_threads,
+                                  const interfere::CSThrConfig& cs,
+                                  const interfere::BWThrConfig& bw) {
+  check_calibration(resource, max_threads);
+
+  ExperimentPlan plan;
+  const auto id = plan.add_workload({"sweep", factory});
+  plan.add_sweep(id, resource, 0, max_threads);
+
+  SweepRunnerOptions opts;
+  opts.seed = backend_->seed();
+  opts.mix_seed_per_point = false;  // every level shared the backend's seed
+  opts.cs = cs;
+  opts.bw = bw;
+  const SweepRunner runner(backend_->machine(), opts);
+  return assemble(runner.run(plan, pool_), id, resource, max_threads);
+}
+
+std::vector<GridSweeps> ActiveMeasurer::sweep_grid(
+    const std::vector<GridRequest>& requests,
+    const interfere::CSThrConfig& cs, const interfere::BWThrConfig& bw) {
+  ExperimentPlan plan;
+  std::vector<WorkloadId> ids;
+  for (const auto& req : requests) {
+    check_calibration(Resource::kCacheStorage, req.storage_threads);
+    check_calibration(Resource::kBandwidth, req.bandwidth_threads);
+    const auto id = plan.add_workload({req.name, req.factory});
+    plan.add_sweep(id, Resource::kCacheStorage, 0, req.storage_threads);
+    plan.add_sweep(id, Resource::kBandwidth, 0, req.bandwidth_threads);
+    ids.push_back(id);
+  }
+
+  SweepRunnerOptions opts;
+  opts.seed = backend_->seed();
+  opts.mix_seed_per_point = false;  // sweeps stay comparable level-to-level
+  opts.cs = cs;
+  opts.bw = bw;
+  const SweepRunner runner(backend_->machine(), opts);
+  const ResultTable table = runner.run(plan, pool_);
+
+  std::vector<GridSweeps> out;
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    out.push_back({assemble(table, ids[i], Resource::kCacheStorage,
+                            requests[i].storage_threads),
+                   assemble(table, ids[i], Resource::kBandwidth,
+                            requests[i].bandwidth_threads)});
   return out;
 }
 

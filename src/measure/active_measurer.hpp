@@ -5,9 +5,12 @@
 // for prediction on less-capable memory systems and (b) bounds on the
 // amount of resource each application process actively uses (§IV).
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "measure/calibration.hpp"
+#include "measure/experiment_plan.hpp"
 #include "measure/sim_backend.hpp"
 #include "model/predictor.hpp"
 
@@ -40,17 +43,46 @@ struct ResourceBounds {
   bool fits_at_all_levels = false;  // never degraded: only an upper bound
 };
 
+/// One entry of a sweep_grid request: a workload swept against both
+/// interference resources (either sweep may be empty).
+struct GridRequest {
+  SimBackend::WorkloadFactory factory;
+  std::string name;
+  std::uint32_t storage_threads = 0;    // sweep 0..storage_threads CSThrs
+  std::uint32_t bandwidth_threads = 0;  // sweep 0..bandwidth_threads BWThrs
+};
+
+/// Both sweeps of one GridRequest; they share a single baseline run.
+struct GridSweeps {
+  SweepResult storage;
+  SweepResult bandwidth;
+};
+
 class ActiveMeasurer {
  public:
   /// The calibrations translate thread counts into resource availability.
   ActiveMeasurer(SimBackend& backend, CapacityCalibration capacity,
                  BandwidthCalibration bandwidth);
 
+  /// Experiments run over this pool from now on (nullptr = serially).
+  /// Results never depend on the pool: each experiment's seed is a function
+  /// of its position in the plan, not of scheduling.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
   /// Runs the workload with 0..max_threads interference threads per socket.
+  /// Delegates to SweepRunner; every level reuses the backend's seed, so
+  /// the result is bit-identical to the historical serial loop.
   SweepResult sweep(const SimBackend::WorkloadFactory& factory,
                     Resource resource, std::uint32_t max_threads,
                     const interfere::CSThrConfig& cs = {},
                     const interfere::BWThrConfig& bw = {});
+
+  /// Executes several workloads' storage and bandwidth sweeps as one
+  /// ExperimentPlan: one shared baseline per workload (instead of one per
+  /// sweep) and one pool barrier for the whole grid.
+  std::vector<GridSweeps> sweep_grid(const std::vector<GridRequest>& requests,
+                                     const interfere::CSThrConfig& cs = {},
+                                     const interfere::BWThrConfig& bw = {});
 
   /// Derives per-process bounds from a sweep, given how many application
   /// processes share each socket. `tolerance` is the degradation threshold
@@ -63,9 +95,15 @@ class ActiveMeasurer {
   const BandwidthCalibration& bandwidth() const { return bandwidth_; }
 
  private:
+  void check_calibration(Resource resource, std::uint32_t max_threads) const;
+  double availability(Resource resource, std::uint32_t k) const;
+  SweepResult assemble(const ResultTable& table, WorkloadId workload,
+                       Resource resource, std::uint32_t max_threads) const;
+
   SimBackend* backend_;
   CapacityCalibration capacity_;
   BandwidthCalibration bandwidth_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace am::measure

@@ -34,6 +34,11 @@ class TimerAgent final : public sim::Agent {
 CapacityCalibration calibrate_capacity(const sim::MachineConfig& machine,
                                        const interfere::CSThrConfig& cs,
                                        const CalibrationOptions& opts) {
+  // The probe occupies core 0 and the k-th CSThr core 1+k; without this
+  // guard the extra agents would silently land on the next socket and
+  // calibrate availability against interference that never shares the L3.
+  if (opts.max_threads + 1 > machine.cores_per_socket)
+    throw std::invalid_argument("calibrate_capacity: too many threads");
   CapacityCalibration out;
   for (std::uint32_t k = 0; k <= opts.max_threads; ++k) {
     RunningStats estimate;

@@ -1,0 +1,138 @@
+#include "measure/experiment_plan.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace am::measure {
+
+namespace {
+
+/// Baselines (threads == 0) run no interference agents, so the nominal
+/// resource is irrelevant; normalize it away for keying.
+std::tuple<WorkloadId, int, std::uint32_t> key_of(WorkloadId workload,
+                                                  Resource resource,
+                                                  std::uint32_t threads) {
+  const int r = threads == 0 ? 0 : static_cast<int>(resource) + 1;
+  return {workload, r, threads};
+}
+
+std::string describe(const std::vector<std::string>& names,
+                     WorkloadId workload, Resource resource,
+                     std::uint32_t threads) {
+  const std::string name = workload < names.size()
+                               ? names[workload]
+                               : "#" + std::to_string(workload);
+  if (threads == 0) return name + " baseline";
+  return name + " × " + resource_name(resource) + " × " +
+         std::to_string(threads) + " threads";
+}
+
+}  // namespace
+
+WorkloadId ExperimentPlan::add_workload(WorkloadSpec spec) {
+  if (!spec.factory)
+    throw std::invalid_argument("ExperimentPlan: workload without factory");
+  workloads_.push_back(std::move(spec));
+  return workloads_.size() - 1;
+}
+
+void ExperimentPlan::add_point(WorkloadId workload, Resource resource,
+                               std::uint32_t threads) {
+  if (workload >= workloads_.size())
+    throw std::invalid_argument("ExperimentPlan: unknown workload id");
+  const auto key = key_of(workload, resource, threads);
+  if (!seen_.insert(key).second) return;
+  points_.push_back({workload, resource, threads});
+}
+
+void ExperimentPlan::add_sweep(WorkloadId workload, Resource resource,
+                               std::uint32_t lo, std::uint32_t hi) {
+  for (std::uint32_t k = lo; k <= hi; ++k) add_point(workload, resource, k);
+}
+
+bool ResultTable::has(WorkloadId workload, Resource resource,
+                      std::uint32_t threads) const {
+  return rows_.contains(key_of(workload, resource, threads));
+}
+
+bool ResultTable::has_baseline(WorkloadId workload) const {
+  return has(workload, Resource::kCacheStorage, 0);
+}
+
+const SimRunResult& ResultTable::at(WorkloadId workload, Resource resource,
+                                    std::uint32_t threads) const {
+  const auto it = rows_.find(key_of(workload, resource, threads));
+  if (it == rows_.end())
+    throw std::out_of_range(
+        "ResultTable: no result for " +
+        describe(workload_names_, workload, resource, threads));
+  return it->second;
+}
+
+const SimRunResult& ResultTable::baseline(WorkloadId workload) const {
+  return at(workload, Resource::kCacheStorage, 0);
+}
+
+double ResultTable::slowdown(WorkloadId workload, Resource resource,
+                             std::uint32_t threads) const {
+  return at(workload, resource, threads).seconds /
+         baseline(workload).seconds;
+}
+
+SweepRunner::SweepRunner(sim::MachineConfig machine, SweepRunnerOptions opts)
+    : machine_(std::move(machine)), opts_(opts) {
+  machine_.validate();
+}
+
+std::uint64_t SweepRunner::seed_for(std::size_t plan_index) const {
+  if (!opts_.mix_seed_per_point) return opts_.seed;
+  // Mixed from the plan index only, so an experiment's seed survives any
+  // reordering of execution (and any pool size).
+  std::uint64_t sm = opts_.seed ^ (0x9e3779b97f4a7c15ull * (plan_index + 1));
+  return splitmix64(sm);
+}
+
+ResultTable SweepRunner::run(const ExperimentPlan& plan,
+                             ThreadPool* pool) const {
+  const auto& points = plan.points();
+  std::vector<SimRunResult> results(points.size());
+  std::vector<std::exception_ptr> errors(points.size());
+
+  auto run_one = [&](std::size_t i) {
+    try {
+      const ExperimentPoint& pt = points[i];
+      const WorkloadSpec& w = plan.workloads()[pt.workload];
+      const InterferenceSpec spec =
+          pt.resource == Resource::kCacheStorage
+              ? InterferenceSpec::storage(pt.threads, opts_.cs)
+              : InterferenceSpec::bandwidth(pt.threads, opts_.bw);
+      SimBackend backend(machine_, seed_for(i));
+      results[i] = backend.run(w.factory, spec, opts_.max_cycles);
+    } catch (...) {
+      // Pool tasks must not throw; surface the failure after the barrier.
+      errors[i] = std::current_exception();
+    }
+  };
+
+  if (pool != nullptr && points.size() > 1)
+    parallel_for(*pool, points.size(), opts_.grain, run_one);
+  else
+    for (std::size_t i = 0; i < points.size(); ++i) run_one(i);
+
+  for (const auto& error : errors)
+    if (error) std::rethrow_exception(error);
+
+  ResultTable table;
+  for (const auto& w : plan.workloads())
+    table.workload_names_.push_back(w.name);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ExperimentPoint& pt = points[i];
+    table.rows_.emplace(key_of(pt.workload, pt.resource, pt.threads),
+                        results[i]);
+  }
+  return table;
+}
+
+}  // namespace am::measure

@@ -1,0 +1,139 @@
+#pragma once
+// Declarative experiment grids for the Active Measurement methodology.
+//
+// The paper's evaluation is one grid after another: (workload × resource ×
+// interference-thread-count × mapping × app size) sweeps feeding Figs. 5-12.
+// Instead of every driver hand-rolling its run list, thread-pool plumbing
+// and baseline lookup, an ExperimentPlan names the scenarios once and a
+// SweepRunner executes them — serially or over an am::ThreadPool — into a
+// ResultTable keyed by scenario. Guarantees:
+//
+//   * Determinism: each experiment's engine seed is mixed from its position
+//     in the plan (never from submission or completion order), so the table
+//     is bit-identical for any pool size, including no pool at all.
+//   * Baseline dedup: a zero-thread point is the same experiment no matter
+//     which resource it nominally sweeps (no interference agents run), so
+//     each workload owns exactly one baseline run shared by every slowdown
+//     column.
+//   * Timeout propagation: the per-run cycle budget reaches every engine,
+//     and truncated runs surface as SimRunResult::timed_out.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "measure/sim_backend.hpp"
+
+namespace am::measure {
+
+using WorkloadId = std::size_t;
+
+/// One workload axis entry: a factory plus the name error messages and
+/// result listings identify the scenario by.
+struct WorkloadSpec {
+  std::string name;
+  SimBackend::WorkloadFactory factory;
+};
+
+/// One executable grid point of a plan.
+struct ExperimentPoint {
+  WorkloadId workload = 0;
+  Resource resource = Resource::kCacheStorage;
+  std::uint32_t threads = 0;  // interference threads per socket
+};
+
+class ExperimentPlan {
+ public:
+  WorkloadId add_workload(WorkloadSpec spec);
+
+  /// Adds one grid point. Duplicates are dropped; threads == 0 points are
+  /// normalized to a single per-workload baseline regardless of resource.
+  void add_point(WorkloadId workload, Resource resource,
+                 std::uint32_t threads);
+
+  /// Adds points for threads in [lo, hi] (inclusive).
+  void add_sweep(WorkloadId workload, Resource resource, std::uint32_t lo,
+                 std::uint32_t hi);
+
+  const std::vector<WorkloadSpec>& workloads() const { return workloads_; }
+  /// Unique points in canonical (insertion) order; the index of a point in
+  /// this vector is its plan index, which seeds its engine.
+  const std::vector<ExperimentPoint>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+
+ private:
+  std::vector<WorkloadSpec> workloads_;
+  std::vector<ExperimentPoint> points_;
+  std::set<std::tuple<WorkloadId, int, std::uint32_t>> seen_;
+};
+
+/// Results of an executed plan, keyed by scenario.
+class ResultTable {
+ public:
+  bool has(WorkloadId workload, Resource resource,
+           std::uint32_t threads) const;
+  bool has_baseline(WorkloadId workload) const;
+
+  /// The result for one grid point; throws std::out_of_range naming the
+  /// scenario if the plan never ran it.
+  const SimRunResult& at(WorkloadId workload, Resource resource,
+                         std::uint32_t threads) const;
+
+  /// The shared zero-interference run. A missing baseline is a hard error
+  /// (std::out_of_range), never a silent zero: dividing by a default 0.0
+  /// is how slowdown columns end up printing `inf`.
+  const SimRunResult& baseline(WorkloadId workload) const;
+
+  /// at(...).seconds / baseline(...).seconds.
+  double slowdown(WorkloadId workload, Resource resource,
+                  std::uint32_t threads) const;
+
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  friend class SweepRunner;
+  std::vector<std::string> workload_names_;
+  std::map<std::tuple<WorkloadId, int, std::uint32_t>, SimRunResult> rows_;
+};
+
+struct SweepRunnerOptions {
+  /// Per-run simulated-cycle budget, forwarded to every SimBackend::run;
+  /// truncated runs come back with SimRunResult::timed_out set.
+  sim::Cycles max_cycles = UINT64_MAX / 4;
+  std::uint64_t seed = 1;
+  /// Mix each engine seed from the experiment's plan index. Disable to run
+  /// every point with `seed` verbatim — bit-compatible with the legacy
+  /// serial sweep, which reused one backend (and one seed) for all levels.
+  bool mix_seed_per_point = true;
+  interfere::CSThrConfig cs;
+  interfere::BWThrConfig bw;
+  /// Chunk size for the pool's parallel_for; simulator runs are coarse, so
+  /// per-point submission (grain 1) is the right default.
+  std::size_t grain = 1;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(sim::MachineConfig machine,
+                       SweepRunnerOptions opts = {});
+
+  /// Executes every point of the plan, serially (pool == nullptr) or over
+  /// the pool. The table is identical either way. The first exception any
+  /// experiment throws is rethrown (in plan order) after all runs settle.
+  ResultTable run(const ExperimentPlan& plan, ThreadPool* pool = nullptr) const;
+
+  /// The engine seed a given plan index runs with.
+  std::uint64_t seed_for(std::size_t plan_index) const;
+
+  const sim::MachineConfig& machine() const { return machine_; }
+  const SweepRunnerOptions& options() const { return opts_; }
+
+ private:
+  sim::MachineConfig machine_;
+  SweepRunnerOptions opts_;
+};
+
+}  // namespace am::measure

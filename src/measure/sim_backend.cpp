@@ -50,7 +50,7 @@ SimRunResult SimBackend::run(const WorkloadFactory& factory,
       info.measure_start ? info.measure_start(engine) : warmup;
   result.cycles = end > start ? end - start : 0;
   result.seconds = machine_.cycles_to_seconds(result.cycles);
-  result.timed_out = end == max_cycles;
+  result.timed_out = engine.timed_out();
   std::set<std::uint32_t> used_sockets;
   for (const auto idx : info.primary_agents) {
     result.app += engine.agent_counters(idx);

@@ -48,6 +48,7 @@ class SimBackend {
                    sim::Cycles max_cycles = UINT64_MAX / 4);
 
   const sim::MachineConfig& machine() const { return machine_; }
+  std::uint64_t seed() const { return seed_; }
 
  private:
   sim::MachineConfig machine_;

@@ -57,6 +57,7 @@ std::size_t Engine::add_agent(std::unique_ptr<Agent> agent, CoreId core,
 
 Cycles Engine::run(Cycles max_cycles) {
   if (agents_.empty()) throw std::logic_error("Engine::run with no agents");
+  timed_out_ = false;
   if (primaries_remaining_ == 0) return 0;
 
   Cycles last_primary_finish = 0;
@@ -71,7 +72,10 @@ Cycles Engine::run(Cycles max_cycles) {
     }
     if (best == agents_.size()) break;  // everyone done (only primaries can)
     Slot& slot = agents_[best];
-    if (slot.clock > max_cycles) return max_cycles;
+    if (slot.clock > max_cycles) {
+      timed_out_ = true;
+      return max_cycles;
+    }
 
     const Cycles before = slot.clock;
     AgentContext ctx(*this, best);

@@ -26,8 +26,13 @@ class Engine {
 
   /// Runs until every primary agent reports finished() or the global clock
   /// passes `max_cycles`. Returns the finish time of the last primary (or
-  /// max_cycles on timeout).
+  /// max_cycles on timeout). A run that legitimately completes at exactly
+  /// max_cycles is not a timeout; check timed_out() to distinguish.
   Cycles run(Cycles max_cycles = std::numeric_limits<Cycles>::max());
+
+  /// True iff the most recent run() was truncated by its cycle budget
+  /// before every primary finished.
+  bool timed_out() const { return timed_out_; }
 
   std::size_t agent_count() const { return agents_.size(); }
   Agent& agent(std::size_t idx) { return *agents_[idx].agent; }
@@ -86,6 +91,7 @@ class Engine {
   std::vector<std::shared_ptr<void>> owned_;
   std::uint64_t seed_;
   std::size_t primaries_remaining_ = 0;
+  bool timed_out_ = false;
 };
 
 }  // namespace am::sim

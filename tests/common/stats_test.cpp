@@ -84,6 +84,17 @@ TEST(Percentile, ThrowsOnEmpty) {
   EXPECT_THROW(percentile(xs, 50), std::invalid_argument);
 }
 
+TEST(Percentile, RejectsOutOfRangeP) {
+  // p > 100 used to compute a rank past the end of the sorted copy and
+  // read out of bounds; the boundaries themselves stay valid.
+  std::vector<double> xs{10.0, 20.0, 30.0};
+  EXPECT_THROW(percentile(xs, -0.001), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 100.001), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, std::nan("")), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 30.0);
+}
+
 TEST(MeanAbsError, Basic) {
   std::vector<double> a{1.0, 2.0, 3.0};
   std::vector<double> b{2.0, 2.0, 1.0};

@@ -24,6 +24,27 @@ TEST(ThreadPool, ParallelForCoversIndexSpace) {
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
 }
 
+TEST(ThreadPool, ChunkedParallelForCoversIndexSpaceOncePerIndex) {
+  ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(pool, hits.size(), grain,
+                 [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "grain=" << grain << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, ChunkedParallelForHandlesDegenerateArgs) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 16, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  parallel_for(pool, 10, 0, [&](std::size_t) { ++count; });  // grain 0 -> 1
+  EXPECT_EQ(count.load(), 10);
+}
+
 TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not hang

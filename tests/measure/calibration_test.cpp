@@ -87,5 +87,20 @@ TEST(BandwidthCalibration, RejectsTooManyThreads) {
                std::invalid_argument);
 }
 
+TEST(CapacityCalibration, RejectsTooManyThreads) {
+  // Probe on core 0 + k CSThrs on cores 1..k: max_threads = 8 would spill
+  // the last CSThr onto the next socket and calibrate against interference
+  // that never shares the probe's L3.
+  EXPECT_EQ(machine().cores_per_socket, 8u);
+  EXPECT_THROW(calibrate_capacity(machine(), cs_cfg(), quick_opts(8)),
+               std::invalid_argument);
+  // The largest placement that still fits the socket stays accepted (tiny
+  // probes: only the placement check matters here).
+  auto opts = quick_opts(7);
+  opts.buffer_to_l3_ratios = {0.05};
+  opts.accesses_per_probe = 200;
+  EXPECT_NO_THROW(calibrate_capacity(machine(), cs_cfg(), opts));
+}
+
 }  // namespace
 }  // namespace am::measure

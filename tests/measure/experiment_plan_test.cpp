@@ -1,0 +1,241 @@
+#include "measure/experiment_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "measure/active_measurer.hpp"
+#include "measure/app_workloads.hpp"
+#include "model/distributions.hpp"
+
+namespace am::measure {
+namespace {
+
+using model::AccessDistribution;
+using sim::MachineConfig;
+
+constexpr std::uint32_t kScale = 64;
+
+MachineConfig machine() { return MachineConfig::xeon20mb_scaled(kScale); }
+
+interfere::CSThrConfig cs_cfg() {
+  interfere::CSThrConfig c;
+  c.buffer_bytes = 4ull * 1024 * 1024 / kScale;
+  return c;
+}
+
+interfere::BWThrConfig bw_cfg() {
+  interfere::BWThrConfig c;
+  c.buffer_bytes = 520ull * 1024 / kScale;
+  return c;
+}
+
+SimBackend::WorkloadFactory synth_factory(double l3_fraction = 1.2,
+                                          std::uint64_t accesses = 6'000) {
+  const auto elements = static_cast<std::uint64_t>(
+      l3_fraction * static_cast<double>(machine().l3.size_bytes) / 4);
+  // Short warm-up: these tests assert determinism and table plumbing, not
+  // measurement realism, and the grid re-runs each plan several times.
+  return make_synthetic_workload(apps::SyntheticConfig{
+      AccessDistribution::uniform(elements, "Uni"), 4, 1, elements / 4,
+      accesses});
+}
+
+SweepRunnerOptions options() {
+  SweepRunnerOptions opts;
+  opts.cs = cs_cfg();
+  opts.bw = bw_cfg();
+  return opts;
+}
+
+ExperimentPlan two_workload_plan() {
+  ExperimentPlan plan;
+  const auto a = plan.add_workload({"a", synth_factory(1.2)});
+  const auto b = plan.add_workload({"b", synth_factory(0.5)});
+  plan.add_sweep(a, Resource::kCacheStorage, 0, 2);
+  plan.add_sweep(a, Resource::kBandwidth, 0, 1);
+  plan.add_sweep(b, Resource::kCacheStorage, 0, 1);
+  return plan;
+}
+
+void expect_identical(const ExperimentPlan& plan, const ResultTable& x,
+                      const ResultTable& y) {
+  ASSERT_EQ(x.size(), y.size());
+  for (const auto& pt : plan.points()) {
+    const auto& rx = x.at(pt.workload, pt.resource, pt.threads);
+    const auto& ry = y.at(pt.workload, pt.resource, pt.threads);
+    EXPECT_EQ(rx.seconds, ry.seconds);  // bitwise: same seed, same engine
+    EXPECT_EQ(rx.cycles, ry.cycles);
+    EXPECT_EQ(rx.app.loads, ry.app.loads);
+    EXPECT_EQ(rx.app.bytes_from_mem, ry.app.bytes_from_mem);
+  }
+}
+
+TEST(ExperimentPlan, DeduplicatesBaselinesAcrossResources) {
+  ExperimentPlan plan;
+  const auto w = plan.add_workload({"w", synth_factory()});
+  plan.add_sweep(w, Resource::kCacheStorage, 0, 3);
+  plan.add_sweep(w, Resource::kBandwidth, 0, 2);
+  // 0..3 storage (4 points) + bandwidth 1..2 (k=0 folds into the shared
+  // baseline) = 6 experiments, not 7.
+  EXPECT_EQ(plan.size(), 6u);
+  // Re-adding any existing point is a no-op.
+  plan.add_point(w, Resource::kCacheStorage, 2);
+  plan.add_point(w, Resource::kBandwidth, 0);
+  EXPECT_EQ(plan.size(), 6u);
+}
+
+TEST(ExperimentPlan, RejectsUnknownWorkloadAndMissingFactory) {
+  ExperimentPlan plan;
+  EXPECT_THROW(plan.add_point(0, Resource::kCacheStorage, 0),
+               std::invalid_argument);
+  EXPECT_THROW(plan.add_workload({"broken", nullptr}),
+               std::invalid_argument);
+}
+
+TEST(SweepRunner, SeedsDependOnPlanIndexOnly) {
+  const SweepRunner runner(machine(), options());
+  EXPECT_NE(runner.seed_for(0), runner.seed_for(1));
+  EXPECT_EQ(runner.seed_for(3), runner.seed_for(3));
+  SweepRunnerOptions fixed = options();
+  fixed.mix_seed_per_point = false;
+  fixed.seed = 42;
+  const SweepRunner constant(machine(), fixed);
+  EXPECT_EQ(constant.seed_for(0), 42u);
+  EXPECT_EQ(constant.seed_for(7), 42u);
+}
+
+TEST(SweepRunner, TableIsInvariantUnderThreadCount) {
+  const auto plan = two_workload_plan();
+  const SweepRunner runner(machine(), options());
+  const auto serial = runner.run(plan, nullptr);
+  ThreadPool one(1);
+  const auto pooled_one = runner.run(plan, &one);
+  ThreadPool four(4);
+  const auto pooled_four = runner.run(plan, &four);
+  expect_identical(plan, serial, pooled_one);
+  expect_identical(plan, serial, pooled_four);
+}
+
+TEST(SweepRunner, BaselineIsSharedAcrossResources) {
+  ExperimentPlan plan;
+  const auto w = plan.add_workload({"w", synth_factory()});
+  plan.add_sweep(w, Resource::kCacheStorage, 0, 1);
+  plan.add_sweep(w, Resource::kBandwidth, 0, 1);
+  const SweepRunner runner(machine(), options());
+  const auto table = runner.run(plan);
+  EXPECT_EQ(&table.at(w, Resource::kCacheStorage, 0),
+            &table.at(w, Resource::kBandwidth, 0));
+  EXPECT_DOUBLE_EQ(table.slowdown(w, Resource::kBandwidth, 0), 1.0);
+}
+
+TEST(SweepRunner, MissingBaselineIsAHardError) {
+  ExperimentPlan plan;
+  const auto w = plan.add_workload({"trimmed", synth_factory()});
+  plan.add_point(w, Resource::kCacheStorage, 1);
+  const SweepRunner runner(machine(), options());
+  const auto table = runner.run(plan);
+  EXPECT_FALSE(table.has_baseline(w));
+  EXPECT_THROW(table.baseline(w), std::out_of_range);
+  EXPECT_THROW(table.slowdown(w, Resource::kCacheStorage, 1),
+               std::out_of_range);
+  EXPECT_THROW(table.at(w, Resource::kBandwidth, 2), std::out_of_range);
+  EXPECT_NO_THROW(table.at(w, Resource::kCacheStorage, 1));
+}
+
+TEST(SweepRunner, PropagatesTimeoutBudget) {
+  ExperimentPlan plan;
+  const auto w = plan.add_workload({"w", synth_factory()});
+  plan.add_point(w, Resource::kCacheStorage, 0);
+  SweepRunnerOptions opts = options();
+  opts.max_cycles = 1000;  // far below what the workload needs
+  const SweepRunner runner(machine(), opts);
+  const auto table = runner.run(plan);
+  EXPECT_TRUE(table.baseline(w).timed_out);
+}
+
+TEST(SweepRunner, WorkloadExceptionsSurfaceAfterTheBarrier) {
+  ExperimentPlan plan;
+  const auto w = plan.add_workload(
+      {"broken", [](sim::Engine&) -> WorkloadInfo {
+         throw std::runtime_error("factory exploded");
+       }});
+  plan.add_point(w, Resource::kCacheStorage, 0);
+  const SweepRunner runner(machine(), options());
+  EXPECT_THROW(runner.run(plan), std::runtime_error);
+  ThreadPool pool(2);
+  EXPECT_THROW(runner.run(plan, &pool), std::runtime_error);
+}
+
+/// The calibrations only translate thread counts into availability labels;
+/// synthetic tables keep the test fast.
+CapacityCalibration fake_capacity() {
+  CapacityCalibration c;
+  const double mb = machine().l3.size_bytes / 20.0;
+  c.available_bytes = {20 * mb, 15 * mb, 12 * mb, 7 * mb, 5 * mb, 2.5 * mb};
+  c.stddev_bytes.assign(6, 0.0);
+  return c;
+}
+
+BandwidthCalibration fake_bandwidth() {
+  BandwidthCalibration b;
+  b.peak_bytes_per_sec = 17e9;
+  b.used_bytes_per_sec = {0.0, 2.8e9, 5.6e9};
+  return b;
+}
+
+TEST(SweepEquivalence, MeasurerSweepMatchesLegacySerialPath) {
+  // The pre-refactor ActiveMeasurer::sweep: one backend, one seed, a
+  // strictly serial k = 0..max loop. The runner-backed sweep (here with a
+  // pool of 4) must be bit-identical.
+  const auto factory = synth_factory(1.2, 10'000);
+  const auto cap = fake_capacity();
+  const auto bw_calib = fake_bandwidth();
+
+  SimBackend legacy_backend(machine(), /*seed=*/5);
+  std::vector<SweepPoint> legacy;
+  for (std::uint32_t k = 0; k <= 3; ++k) {
+    const auto run = legacy_backend.run(
+        factory, InterferenceSpec::storage(k, cs_cfg()));
+    legacy.push_back({k, run.seconds, cap.available_bytes.at(k)});
+  }
+
+  SimBackend backend(machine(), /*seed=*/5);
+  ActiveMeasurer measurer(backend, cap, bw_calib);
+  ThreadPool pool(4);
+  measurer.set_pool(&pool);
+  const auto sweep =
+      measurer.sweep(factory, Resource::kCacheStorage, 3, cs_cfg(), bw_cfg());
+
+  ASSERT_EQ(sweep.points.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(sweep.points[i].threads, legacy[i].threads);
+    EXPECT_EQ(sweep.points[i].seconds, legacy[i].seconds);  // bitwise
+    EXPECT_EQ(sweep.points[i].resource_available,
+              legacy[i].resource_available);
+  }
+}
+
+TEST(SweepGrid, SharesBaselineAndMatchesIndividualSweeps) {
+  const auto factory = synth_factory(1.2, 10'000);
+  SimBackend backend(machine(), /*seed=*/9);
+  ActiveMeasurer measurer(backend, fake_capacity(), fake_bandwidth());
+  const auto grids = measurer.sweep_grid(
+      {{factory, "app", /*storage_threads=*/2, /*bandwidth_threads=*/1}},
+      cs_cfg(), bw_cfg());
+  ASSERT_EQ(grids.size(), 1u);
+  const auto& g = grids[0];
+  ASSERT_EQ(g.storage.points.size(), 3u);
+  ASSERT_EQ(g.bandwidth.points.size(), 2u);
+  // The two sweeps share the zero-interference run.
+  EXPECT_EQ(g.storage.points[0].seconds, g.bandwidth.points[0].seconds);
+
+  // And each sweep equals what a standalone sweep produces.
+  SimBackend backend2(machine(), /*seed=*/9);
+  ActiveMeasurer single(backend2, fake_capacity(), fake_bandwidth());
+  const auto cap_sweep =
+      single.sweep(factory, Resource::kCacheStorage, 2, cs_cfg(), bw_cfg());
+  for (std::size_t i = 0; i < cap_sweep.points.size(); ++i)
+    EXPECT_EQ(g.storage.points[i].seconds, cap_sweep.points[i].seconds);
+}
+
+}  // namespace
+}  // namespace am::measure

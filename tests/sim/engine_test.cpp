@@ -100,6 +100,40 @@ TEST(Engine, MaxCyclesBoundsRun) {
   eng.add_agent(std::make_unique<StreamAgent>(eng.memory(), 1u << 30), 0);
   const Cycles end = eng.run(/*max_cycles=*/10000);
   EXPECT_EQ(end, 10000u);
+  EXPECT_TRUE(eng.timed_out());
+}
+
+TEST(Engine, FinishingExactlyAtMaxCyclesIsNotATimeout) {
+  // A run whose last primary completes at precisely max_cycles must not be
+  // conflated with a truncated one: end == max_cycles alone cannot tell
+  // them apart.
+  struct ComputeAgent final : Agent {
+    explicit ComputeAgent(Cycles c) : Agent("c"), cycles(c) {}
+    void step(AgentContext& ctx) override {
+      ctx.compute(cycles);
+      done = true;
+    }
+    bool finished() const override { return done; }
+    Cycles cycles;
+    bool done = false;
+  };
+  Engine eng(machine());
+  eng.add_agent(std::make_unique<ComputeAgent>(500), 0);
+  const Cycles end = eng.run(/*max_cycles=*/500);
+  EXPECT_EQ(end, 500u);
+  EXPECT_FALSE(eng.timed_out());
+}
+
+TEST(Engine, TimedOutResetsBetweenRuns) {
+  Engine eng(machine());
+  eng.add_agent(std::make_unique<StreamAgent>(eng.memory(), 100), 0);
+  eng.run(/*max_cycles=*/50);
+  EXPECT_TRUE(eng.timed_out());
+  // Resuming with a sufficient budget completes the primary; the stale
+  // timeout flag from the truncated run must not leak into this result.
+  const Cycles end = eng.run();
+  EXPECT_GT(end, 50u);
+  EXPECT_FALSE(eng.timed_out());
 }
 
 TEST(Engine, RejectsDoubleCoreAssignment) {
