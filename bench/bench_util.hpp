@@ -4,8 +4,10 @@
 // benchmark experiment used by Fig. 5 and Fig. 6.
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <stdexcept>
 #include <string>
-
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -17,6 +19,7 @@
 #include "interfere/bwthr_agent.hpp"
 #include "interfere/csthr_agent.hpp"
 #include "measure/experiment_plan.hpp"
+#include "measure/result_store.hpp"
 #include "model/ehr_model.hpp"
 #include "sim/engine.hpp"
 
@@ -25,8 +28,10 @@ namespace am::bench {
 struct BenchContext {
   sim::MachineConfig machine;
   std::uint32_t scale = 1;
-  std::string csv_path;   // empty = no CSV dump
+  std::string csv_path;     // empty = no CSV dump
   std::uint64_t seed = 1;
+  std::string results_dir;  // empty = no persistent result store
+  ShardRange shard;         // --shard i/n; default = whole plan
 
   interfere::CSThrConfig cs_config() const {
     interfere::CSThrConfig c;
@@ -54,7 +59,8 @@ struct BenchContext {
 };
 
 /// Parses the common flags: --scale N (default 16, geometry-preserving),
-/// --full (paper-size machine), --nodes, --csv path, --seed.
+/// --full (paper-size machine), --nodes, --csv path, --seed,
+/// --results-dir DIR (persistent result store), --shard i/n.
 inline BenchContext make_context(const Cli& cli,
                                  std::uint32_t default_scale = 16,
                                  std::uint32_t nodes = 1) {
@@ -67,7 +73,21 @@ inline BenchContext make_context(const Cli& cli,
       ctx.scale, static_cast<std::uint32_t>(cli.get_int("nodes", nodes)));
   ctx.csv_path = cli.get("csv", "");
   ctx.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  ctx.results_dir = cli.get("results-dir", "");
+  ctx.shard = cli.get_shard("shard");
+  // (--shard without --results-dir is rejected by ResultStoreFile.)
+  if (ctx.shard.sharded() && !ctx.csv_path.empty())
+    throw std::invalid_argument(
+        "--csv cannot be combined with --shard: a sharded run emits no "
+        "tables — merge the shards, then re-run unsharded with --csv");
   return ctx;
+}
+
+/// The persistent store backing one driver invocation (see
+/// measure::ResultStoreFile); disabled when --results-dir is unset.
+inline measure::ResultStoreFile make_store(const BenchContext& ctx,
+                                           const std::string& driver) {
+  return measure::ResultStoreFile(ctx.results_dir, driver, ctx.shard);
 }
 
 inline void emit(const Table& table, const BenchContext& ctx,
@@ -85,6 +105,30 @@ inline void emit(const Table& table, const BenchContext& ctx,
       std::cerr << "failed to write " << ctx.csv_path << "\n";
   }
 }
+
+/// Memoizes (mapping, size) → workload id so two sweeps that visit the
+/// same grid cell (fig9/fig11: the mapping sweep's p=1 row is also the
+/// size sweep's first row) share a single workload — one set of runs in
+/// the plan and one set of records in the store, instead of the identical
+/// experiment simulated twice under two names.
+class CellMemo {
+ public:
+  /// `make_spec` is invoked only on the first sighting of (a, b).
+  template <typename MakeSpec>
+  measure::WorkloadId get(measure::ExperimentPlan& plan, std::uint32_t a,
+                          std::uint32_t b, MakeSpec&& make_spec) {
+    const auto key = std::make_pair(a, b);
+    if (const auto it = cells_.find(key); it != cells_.end())
+      return it->second;
+    const auto id = plan.add_workload(make_spec());
+    cells_.emplace(key, id);
+    return id;
+  }
+
+ private:
+  std::map<std::pair<std::uint32_t, std::uint32_t>, measure::WorkloadId>
+      cells_;
+};
 
 /// One row group of a degradation table (fig9/fig11): a plan workload plus
 /// the axis value (mapping, particle count, cube edge) it varies.

@@ -28,6 +28,10 @@ int main(int argc, char** argv) {
   const std::uint32_t sweep_cs = quick ? 2 : 5;
   const std::uint32_t sweep_bw = quick ? 1 : 2;
 
+  // Constructed before calibration: flag-pairing errors (e.g. --shard
+  // without --results-dir) must fire before minutes of calibration work.
+  auto store = am::bench::make_store(ctx, "fig10_mcb_resources");
+
   am::measure::CalibrationOptions copts;
   copts.max_threads = quick ? 2 : 5;
   copts.buffer_to_l3_ratios = {2.5};
@@ -43,20 +47,32 @@ int main(int argc, char** argv) {
   am::measure::ActiveMeasurer measurer(backend, cap_calib, bw_calib);
   am::ThreadPool pool;
   measurer.set_pool(&pool);
+  measurer.set_store(store.store());
 
   auto cfg = am::apps::McbConfig::paper(particles, ctx.scale);
   cfg.steps = steps;
 
   // One grid for every mapping: both resources of one mapping share a
   // single baseline run, and the whole plan runs over the pool at once.
+  // Names embed every run-shaping parameter — they key the ResultStore.
   std::vector<am::measure::GridRequest> requests;
   for (const std::uint32_t p : mappings)
     requests.push_back({am::measure::make_mcb_workload(ranks, p, cfg),
-                        "p=" + std::to_string(p),
+                        "mcb r" + std::to_string(ranks) + " s" +
+                            std::to_string(steps) + " particles=" +
+                            std::to_string(particles) + " p=" +
+                            std::to_string(p),
                         std::min(sweep_cs, ctx.machine.cores_per_socket - p),
                         std::min(sweep_bw, ctx.machine.cores_per_socket - p)});
+  if (ctx.shard.sharded()) {
+    const auto executed = measurer.sweep_grid_shard(
+        requests, ctx.shard, ctx.cs_config(), ctx.bw_config());
+    store.finish(executed, measurer.last_planned(), std::cout);
+    return 0;  // merge the shard stores, then re-run to print the figure
+  }
   const auto sweeps =
       measurer.sweep_grid(requests, ctx.cs_config(), ctx.bw_config());
+  store.finish(measurer.last_executed(), measurer.last_planned(), std::cout);
 
   const double mb = 1024.0 * 1024.0;
   am::Table t({"p/processor", "capacity lo (MB)", "capacity hi (MB)",

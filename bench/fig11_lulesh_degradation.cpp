@@ -37,22 +37,32 @@ int main(int argc, char** argv) {
     return cfg;
   };
 
+  // Names embed ranks/steps/cube/mapping: a workload's name is its
+  // identity in the ResultStore, so distinct configurations must never
+  // share one — while the one cell both sweeps visit (p=1 × 22^3) is
+  // memoized into a single workload, simulated and stored once.
   am::measure::ExperimentPlan plan;
+  am::bench::CellMemo cells;
+  auto cell = [&](std::uint32_t p, std::uint32_t edge) {
+    return cells.get(plan, p, edge, [&] {
+      return am::measure::WorkloadSpec{
+          "lulesh r" + std::to_string(ranks) + " s" + std::to_string(steps) +
+              " map p=" + std::to_string(p) + " cube " +
+              std::to_string(edge) + "^3",
+          am::measure::make_lulesh_workload(ranks, p, lulesh_cfg(edge))};
+    });
+  };
   std::vector<am::bench::DegradationRow> rows;
   for (const std::uint32_t p : mappings) {
     const std::uint32_t free_cores = ctx.machine.cores_per_socket - p;
-    const auto id = plan.add_workload(
-        {"map p=" + std::to_string(p),
-         am::measure::make_lulesh_workload(ranks, p, lulesh_cfg(22))});
+    const auto id = cell(p, 22);
     plan.add_sweep(id, Resource::kCacheStorage, 0,
                    std::min(max_cs, free_cores));
     plan.add_sweep(id, Resource::kBandwidth, 0, std::min(max_bw, free_cores));
     rows.push_back({id, "map", p});
   }
   for (const std::uint32_t edge : edges) {
-    const auto id = plan.add_workload(
-        {"cube " + std::to_string(edge) + "^3",
-         am::measure::make_lulesh_workload(ranks, 1, lulesh_cfg(edge))});
+    const auto id = cell(1, edge);
     plan.add_sweep(id, Resource::kCacheStorage, 0, max_cs);
     plan.add_sweep(id, Resource::kBandwidth, 0, max_bw);
     rows.push_back({id, "cube", edge});
@@ -65,7 +75,12 @@ int main(int argc, char** argv) {
   opts.bw = ctx.bw_config();
   const am::measure::SweepRunner runner(ctx.machine, opts);
   am::ThreadPool pool;
-  const auto table = runner.run(plan, &pool);
+  auto store = am::bench::make_store(ctx, "fig11_lulesh_degradation");
+  std::size_t executed = 0;
+  const auto table =
+      runner.run(plan, &pool, store.store(), ctx.shard, &executed);
+  if (store.finish(executed, table.size(), std::cout))
+    return 0;  // shard: merge, then re-emit
 
   am::bench::emit_degradation_tables(
       table, rows, "map", "p/processor",

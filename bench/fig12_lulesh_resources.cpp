@@ -27,6 +27,10 @@ int main(int argc, char** argv) {
   const std::uint32_t sweep_cs = quick ? 2 : 5;
   const std::uint32_t sweep_bw = quick ? 1 : 2;
 
+  // Constructed before calibration: flag-pairing errors (e.g. --shard
+  // without --results-dir) must fire before minutes of calibration work.
+  auto store = am::bench::make_store(ctx, "fig12_lulesh_resources");
+
   am::measure::CalibrationOptions copts;
   copts.max_threads = quick ? 2 : 5;
   copts.buffer_to_l3_ratios = {2.5};
@@ -42,9 +46,11 @@ int main(int argc, char** argv) {
   am::measure::ActiveMeasurer measurer(backend, cap_calib, bw_calib);
   am::ThreadPool pool;
   measurer.set_pool(&pool);
+  measurer.set_store(store.store());
 
   // Every (edge × mapping) cell goes into one grid: both resources of a
   // cell share one baseline run and the whole plan runs over the pool.
+  // Names embed every run-shaping parameter — they key the ResultStore.
   std::vector<am::measure::GridRequest> requests;
   for (const std::uint32_t edge : edges) {
     auto cfg = am::apps::LuleshConfig::paper(edge, ctx.scale);
@@ -52,12 +58,20 @@ int main(int argc, char** argv) {
     for (const std::uint32_t p : mappings)
       requests.push_back(
           {am::measure::make_lulesh_workload(ranks, p, cfg),
-           std::to_string(edge) + "^3 p=" + std::to_string(p),
+           "lulesh r" + std::to_string(ranks) + " s" + std::to_string(steps) +
+               " cube " + std::to_string(edge) + "^3 p=" + std::to_string(p),
            std::min(sweep_cs, ctx.machine.cores_per_socket - p),
            std::min(sweep_bw, ctx.machine.cores_per_socket - p)});
   }
+  if (ctx.shard.sharded()) {
+    const auto executed = measurer.sweep_grid_shard(
+        requests, ctx.shard, ctx.cs_config(), ctx.bw_config());
+    store.finish(executed, measurer.last_planned(), std::cout);
+    return 0;  // merge the shard stores, then re-run to print the figure
+  }
   const auto sweeps =
       measurer.sweep_grid(requests, ctx.cs_config(), ctx.bw_config());
+  store.finish(measurer.last_executed(), measurer.last_planned(), std::cout);
 
   const double mb = 1024.0 * 1024.0;
   std::size_t cell = 0;

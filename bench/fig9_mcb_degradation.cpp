@@ -41,14 +41,27 @@ int main(int argc, char** argv) {
 
   // Declare the whole grid once; the runner owns pooling, seeds and the
   // baseline table.
+  // Workload names embed every parameter that shapes the runs (ranks,
+  // steps, particles, mapping): the name is the workload's identity in the
+  // ResultStore, so distinct configurations must never share one — while
+  // the one cell both sweeps visit (p=1 × 20k particles) is memoized into
+  // a single workload, so its runs are simulated and stored once.
   am::measure::ExperimentPlan plan;
+  am::bench::CellMemo cells;
+  auto cell = [&](std::uint32_t p, std::uint32_t particles) {
+    return cells.get(plan, p, particles, [&] {
+      return am::measure::WorkloadSpec{
+          "mcb r" + std::to_string(ranks) + " s" + std::to_string(steps) +
+              " map p=" + std::to_string(p) + " particles=" +
+              std::to_string(particles),
+          am::measure::make_mcb_workload(ranks, p, mcb_cfg(particles))};
+    });
+  };
   std::vector<am::bench::DegradationRow> rows;
   // Top: mapping sweep at 20k particles.
   for (const std::uint32_t p : mappings) {
     const std::uint32_t free_cores = ctx.machine.cores_per_socket - p;
-    const auto id = plan.add_workload(
-        {"map p=" + std::to_string(p),
-         am::measure::make_mcb_workload(ranks, p, mcb_cfg(20'000))});
+    const auto id = cell(p, 20'000);
     plan.add_sweep(id, Resource::kCacheStorage, 0,
                    std::min(max_cs, free_cores));
     plan.add_sweep(id, Resource::kBandwidth, 0, std::min(max_bw, free_cores));
@@ -56,9 +69,7 @@ int main(int argc, char** argv) {
   }
   // Bottom: particle sweep at 1 process per processor.
   for (const std::uint32_t particles : particle_counts) {
-    const auto id = plan.add_workload(
-        {"particles=" + std::to_string(particles),
-         am::measure::make_mcb_workload(ranks, 1, mcb_cfg(particles))});
+    const auto id = cell(1, particles);
     plan.add_sweep(id, Resource::kCacheStorage, 0, max_cs);
     plan.add_sweep(id, Resource::kBandwidth, 0, max_bw);
     rows.push_back({id, "particles", particles});
@@ -71,7 +82,12 @@ int main(int argc, char** argv) {
   opts.bw = ctx.bw_config();
   const am::measure::SweepRunner runner(ctx.machine, opts);
   am::ThreadPool pool;
-  const auto table = runner.run(plan, &pool);
+  auto store = am::bench::make_store(ctx, "fig9_mcb_degradation");
+  std::size_t executed = 0;
+  const auto table =
+      runner.run(plan, &pool, store.store(), ctx.shard, &executed);
+  if (store.finish(executed, table.size(), std::cout))
+    return 0;  // shard: merge, then re-emit
 
   am::bench::emit_degradation_tables(
       table, rows, "map", "p/processor",

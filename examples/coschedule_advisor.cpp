@@ -4,8 +4,12 @@
 // prediction by actually co-running the pair on the simulator.
 //
 // Build & run:  ./build/examples/coschedule_advisor [--scale N] [--accesses N]
+//               [--results-dir DIR] [--shard i/n]
 #include <cstdio>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "measure/active_measurer.hpp"
@@ -33,6 +37,11 @@ int main(int argc, char** argv) {
   const auto kScale = static_cast<std::uint32_t>(cli.get_int("scale", 16));
   const auto accesses =
       static_cast<std::uint64_t>(cli.get_int("accesses", 150'000));
+  // Validates the --shard/--results-dir pairing; disabled when no
+  // results dir is given.
+  const am::ShardRange shard = cli.get_shard("shard");
+  am::measure::ResultStoreFile store(cli.get("results-dir", ""),
+                                     "coschedule_advisor", shard);
   const auto machine = am::sim::MachineConfig::xeon20mb_scaled(kScale);
   am::interfere::CSThrConfig cs;
   cs.buffer_bytes = 4ull * 1024 * 1024 / kScale;
@@ -51,16 +60,28 @@ int main(int argc, char** argv) {
   am::ThreadPool pool;
   measurer.set_pool(&pool);
 
+  measurer.set_store(store.store());
+
   // Profile two applications in isolation: one light (25% of L3), one
   // heavy (60% of L3). Both profiles go into one experiment grid, so each
   // app's storage and bandwidth sweeps share a single baseline run and the
-  // whole plan executes over the pool at once.
+  // whole plan executes over the pool at once. Parameters live in the
+  // workload names — they key the ResultStore.
   const auto light_cfg = make_app(machine, 0.25, accesses);
   const auto heavy_cfg = make_app(machine, 0.60, accesses);
-  const auto sweeps = measurer.sweep_grid(
-      {{am::measure::make_synthetic_workload(light_cfg), "light", 5, 2},
-       {am::measure::make_synthetic_workload(heavy_cfg), "heavy", 5, 2}},
-      cs, bw);
+  const auto atag = " a=" + std::to_string(accesses);
+  const std::vector<am::measure::GridRequest> requests{
+      {am::measure::make_synthetic_workload(light_cfg), "light l3=0.25" + atag,
+       5, 2},
+      {am::measure::make_synthetic_workload(heavy_cfg), "heavy l3=0.60" + atag,
+       5, 2}};
+  if (shard.sharded()) {
+    const auto executed = measurer.sweep_grid_shard(requests, shard, cs, bw);
+    store.finish(executed, measurer.last_planned(), std::cout);
+    return 0;  // merge the shard stores with amresult, then re-run
+  }
+  const auto sweeps = measurer.sweep_grid(requests, cs, bw);
+  store.finish(measurer.last_executed(), measurer.last_planned(), std::cout);
   auto profile = [](const char* name, const am::measure::GridSweeps& s) {
     auto p = am::measure::AppProfile::from_sweeps(name, s.storage,
                                                   s.bandwidth, 1);

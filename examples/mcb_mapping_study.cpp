@@ -6,7 +6,9 @@
 //
 // Build & run:  ./build/examples/mcb_mapping_study [--scale N]
 //               [--particles N] [--steps N]
+//               [--results-dir DIR] [--shard i/n]
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -17,6 +19,11 @@
 int main(int argc, char** argv) {
   const am::Cli cli(argc, argv);
   const auto kScale = static_cast<std::uint32_t>(cli.get_int("scale", 16));
+  // Validates the --shard/--results-dir pairing; disabled when no
+  // results dir is given.
+  const am::ShardRange shard = cli.get_shard("shard");
+  am::measure::ResultStoreFile store(cli.get("results-dir", ""),
+                                     "mcb_mapping_study", shard);
   const auto machine =
       am::sim::MachineConfig::xeon20mb_scaled(kScale, /*nodes=*/12);
   am::interfere::CSThrConfig cs;
@@ -33,8 +40,10 @@ int main(int argc, char** argv) {
   am::measure::ExperimentPlan plan;
   std::vector<std::pair<am::measure::WorkloadId, std::uint32_t>> cells;
   for (const std::uint32_t p : mappings) {
+    // Parameters live in the name: it keys the ResultStore.
     const auto id = plan.add_workload(
-        {"p=" + std::to_string(p),
+        {"mcb r24 s" + std::to_string(cfg.steps) + " particles=" +
+             std::to_string(particles) + " p=" + std::to_string(p),
          am::measure::make_mcb_workload(24, p, cfg)});
     const std::uint32_t k = std::min(4u, machine.cores_per_socket - p);
     plan.add_point(id, am::measure::Resource::kCacheStorage, 0);
@@ -47,7 +56,11 @@ int main(int argc, char** argv) {
   opts.cs = cs;
   const am::measure::SweepRunner runner(machine, opts);
   am::ThreadPool pool;
-  const auto table = runner.run(plan, &pool);
+
+  std::size_t executed = 0;
+  const auto table = runner.run(plan, &pool, store.store(), shard, &executed);
+  if (store.finish(executed, table.size(), std::cout))
+    return 0;  // shard: merge with amresult, then re-run to print
 
   std::printf("MCB, 24 ranks, %u particles on %s\n\n", particles,
               machine.name.c_str());

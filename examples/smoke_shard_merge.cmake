@@ -1,0 +1,50 @@
+# End-to-end exercise of the sharded-sweep workflow (ctest smoke entry):
+# run mcb_mapping_study as two shards into separate store files, merge them
+# with amresult, then re-run unsharded against the merged store and require
+# a fully cached run (zero engine executions). Driven by -D vars:
+#   STUDY    — path to the mcb_mapping_study binary
+#   AMRESULT — path to the amresult binary
+#   WORKDIR  — scratch directory (wiped on entry)
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+set(common_args --scale 128 --particles 2000 --steps 1
+    --results-dir "${WORKDIR}")
+
+function(run_checked out_var)
+  execute_process(COMMAND ${ARGN}
+    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_checked(shard0 "${STUDY}" ${common_args} --shard 0/2)
+run_checked(shard1 "${STUDY}" ${common_args} --shard 1/2)
+
+run_checked(merged "${AMRESULT}" merge
+  --out "${WORKDIR}/mcb_mapping_study.tsv"
+  "${WORKDIR}/mcb_mapping_study.shard0of2.tsv"
+  "${WORKDIR}/mcb_mapping_study.shard1of2.tsv")
+
+run_checked(validated "${AMRESULT}" validate
+  "${WORKDIR}/mcb_mapping_study.tsv")
+run_checked(shown "${AMRESULT}" show "${WORKDIR}/mcb_mapping_study.tsv")
+
+# The merged store must make the unsharded re-run fully cached.
+run_checked(cached "${STUDY}" ${common_args})
+if(NOT cached MATCHES "\\(0 executed")
+  message(FATAL_ERROR
+    "expected a fully cached re-run after merging shards, got:\n${cached}")
+endif()
+
+# And the cached table must match a store-free direct run line for line
+# (modulo the store bookkeeping line).
+run_checked(direct "${STUDY}" --scale 128 --particles 2000 --steps 1)
+string(REGEX REPLACE "results: [^\n]*\n" "" cached_table "${cached}")
+if(NOT cached_table STREQUAL direct)
+  message(FATAL_ERROR
+    "cached table differs from direct run.\ncached:\n${cached_table}\n"
+    "direct:\n${direct}")
+endif()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked *.md file for inline links/images `[text](target)` and
+reference definitions `[id]: target`, and verifies that relative targets
+exist in the working tree. External schemes (http/https/mailto) and pure
+in-page anchors (#...) are skipped; a `path#anchor` target only checks the
+path. Exit code 1 lists every broken link as file:line.
+
+Usage: scripts/check_markdown_links.py [root-dir]
+"""
+import os
+import re
+import sys
+
+INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", ".cache"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def targets(line):
+    for match in INLINE.finditer(line):
+        yield match.group(1)
+    match = REFDEF.match(line)
+    if match:
+        yield match.group(1)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    broken = []
+    for path in sorted(markdown_files(root)):
+        base = os.path.dirname(path)
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                for target in targets(line):
+                    if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                        continue
+                    target_path = target.split("#", 1)[0]
+                    if not target_path:
+                        continue
+                    resolved = (
+                        os.path.join(root, target_path.lstrip("/"))
+                        if target_path.startswith("/")
+                        else os.path.join(base, target_path)
+                    )
+                    if not os.path.exists(resolved):
+                        broken.append(f"{path}:{lineno}: broken link -> {target}")
+    for entry in broken:
+        print(entry)
+    if broken:
+        print(f"{len(broken)} broken intra-repo markdown link(s)")
+        return 1
+    print("markdown links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,13 @@
 #pragma once
 // Minimal command-line flag parser shared by bench and example binaries.
 // Supports --name=value, --name value, and boolean --name forms.
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "common/shard.hpp"
 
 namespace am {
 
@@ -17,6 +20,11 @@ class Cli {
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
+
+  /// Parses --name=i/n (e.g. --shard 0/4). An absent flag is the whole job
+  /// ({0, 1}). Throws std::invalid_argument on anything but two integers
+  /// separated by '/', on count == 0, or on index >= count.
+  ShardRange get_shard(const std::string& name) const;
 
   /// Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }

@@ -1,0 +1,54 @@
+#pragma once
+// Stable 64-bit content fingerprints (FNV-1a) for cache keys and identity
+// digests. Not cryptographic: the store layer detects the (astronomically
+// unlikely) collision of two different keys and fails loudly, so accidental
+// collisions cannot silently alias results.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+
+namespace am {
+
+/// Incremental FNV-1a hasher. Strings are mixed with a terminating
+/// separator so {"ab","c"} and {"a","bc"} digest differently; arithmetic
+/// values are mixed by value representation (fixed-width on every platform
+/// this project targets).
+class Fingerprint {
+ public:
+  Fingerprint& mix_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ull;
+    }
+    return *this;
+  }
+
+  Fingerprint& mix(const std::string& s) {
+    mix_bytes(s.data(), s.size());
+    const char sep = '\x1f';
+    return mix_bytes(&sep, 1);
+  }
+
+  template <typename T>
+    requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+  Fingerprint& mix(T value) {
+    return mix_bytes(&value, sizeof(value));
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+  /// 16 lowercase hex digits.
+  std::string hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash_));
+    return buf;
+  }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+}  // namespace am

@@ -1,0 +1,16 @@
+#pragma once
+// Which slice of a partitionable job this process owns. Parsed from
+// --shard i/n by Cli::get_shard and consumed by ExperimentPlan::shard /
+// SweepRunner::run; the default ({0, 1}) is the whole job.
+#include <cstddef>
+
+namespace am {
+
+struct ShardRange {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  bool sharded() const { return count > 1; }
+};
+
+}  // namespace am

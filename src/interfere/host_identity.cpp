@@ -1,9 +1,59 @@
 #include "interfere/host_identity.hpp"
 
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+
+#include "common/fingerprint.hpp"
+
 namespace am::interfere {
 
 __attribute__((noinline, noipa)) std::int64_t host_identity(std::int64_t x) {
   return x;
+}
+
+namespace {
+
+std::string read_cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    // "model name\t: Intel(R) ..." on x86.
+    if (line.rfind("model name", 0) != 0) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    auto value = line.substr(colon + 1);
+    const auto first = value.find_first_not_of(" \t");
+    return first == std::string::npos ? std::string{} : value.substr(first);
+  }
+  return {};
+}
+
+}  // namespace
+
+HostIdentity HostIdentity::detect() {
+  HostIdentity id;
+  char host[256] = {};
+  if (gethostname(host, sizeof(host) - 1) == 0) id.hostname = host;
+  id.cpu_model = read_cpu_model();
+  const long cpus = sysconf(_SC_NPROCESSORS_ONLN);
+  if (cpus > 0) id.logical_cpus = static_cast<std::uint32_t>(cpus);
+  const long pages = sysconf(_SC_PHYS_PAGES);
+  const long page_size = sysconf(_SC_PAGESIZE);
+  if (pages > 0 && page_size > 0)
+    id.total_mem_bytes = static_cast<std::uint64_t>(pages) *
+                         static_cast<std::uint64_t>(page_size);
+  return id;
+}
+
+std::string HostIdentity::fingerprint() const {
+  Fingerprint fp;
+  fp.mix(hostname)
+      .mix(cpu_model)
+      .mix(logical_cpus)
+      .mix(total_mem_bytes);
+  return fp.hex();
 }
 
 }  // namespace am::interfere

@@ -1,13 +1,41 @@
 #pragma once
-// The paper's anti-optimization device: the strided index computation is
-// routed through an identity function that lives in a separate translation
-// unit, so the compiler cannot see through it and simplify the access
-// pattern (Section II-A).
+// Two unrelated-looking duties that both answer "what machine am I on?":
+//
+//   1. host_identity(): the paper's anti-optimization device — the strided
+//      index computation is routed through an identity function that lives
+//      in a separate translation unit, so the compiler cannot see through
+//      it and simplify the access pattern (Section II-A).
+//
+//   2. HostIdentity: a stable fingerprint of the physical host, recorded in
+//      every ResultStore so that numbers measured on different machines are
+//      never silently mixed. Host-native measurements (HostBackend) are
+//      only comparable on the same hardware; simulator results are
+//      host-independent but still carry the fingerprint as provenance.
 #include <cstdint>
+#include <string>
 
 namespace am::interfere {
 
 /// Returns x. Defined out-of-line in host_identity.cpp and never inlined.
 std::int64_t host_identity(std::int64_t x);
+
+/// Identity of the physical host a measurement ran on. The fields are the
+/// stable hardware-shaped facts (not boot-varying ones like frequency
+/// governor state), so the fingerprint survives reboots of one machine but
+/// distinguishes two different machines.
+struct HostIdentity {
+  std::string hostname;
+  std::string cpu_model;            // e.g. "Intel(R) Xeon(R) CPU E5-2670"
+  std::uint32_t logical_cpus = 0;   // online processors
+  std::uint64_t total_mem_bytes = 0;
+
+  /// Reads uname/sysconf/proc. Never throws: unreadable fields stay at
+  /// their defaults, so the fingerprint is still deterministic per host.
+  static HostIdentity detect();
+
+  /// Stable 64-bit digest of the fields above, rendered as 16 lowercase
+  /// hex digits. Equal fingerprints = same (or indistinguishable) host.
+  std::string fingerprint() const;
+};
 
 }  // namespace am::interfere

@@ -74,11 +74,10 @@ SweepResult ActiveMeasurer::sweep(const SimBackend::WorkloadFactory& factory,
   return assemble(runner.run(plan, pool_), id, resource, max_threads);
 }
 
-std::vector<GridSweeps> ActiveMeasurer::sweep_grid(
+ExperimentPlan ActiveMeasurer::build_grid(
     const std::vector<GridRequest>& requests,
-    const interfere::CSThrConfig& cs, const interfere::BWThrConfig& bw) {
+    std::vector<WorkloadId>& ids) const {
   ExperimentPlan plan;
-  std::vector<WorkloadId> ids;
   for (const auto& req : requests) {
     check_calibration(Resource::kCacheStorage, req.storage_threads);
     check_calibration(Resource::kBandwidth, req.bandwidth_threads);
@@ -87,14 +86,28 @@ std::vector<GridSweeps> ActiveMeasurer::sweep_grid(
     plan.add_sweep(id, Resource::kBandwidth, 0, req.bandwidth_threads);
     ids.push_back(id);
   }
+  return plan;
+}
 
+SweepRunner ActiveMeasurer::grid_runner(
+    const interfere::CSThrConfig& cs, const interfere::BWThrConfig& bw) const {
   SweepRunnerOptions opts;
   opts.seed = backend_->seed();
   opts.mix_seed_per_point = false;  // sweeps stay comparable level-to-level
   opts.cs = cs;
   opts.bw = bw;
-  const SweepRunner runner(backend_->machine(), opts);
-  const ResultTable table = runner.run(plan, pool_);
+  return SweepRunner(backend_->machine(), opts);
+}
+
+std::vector<GridSweeps> ActiveMeasurer::sweep_grid(
+    const std::vector<GridRequest>& requests,
+    const interfere::CSThrConfig& cs, const interfere::BWThrConfig& bw) {
+  std::vector<WorkloadId> ids;
+  const ExperimentPlan plan = build_grid(requests, ids);
+  last_planned_ = plan.size();
+  const ResultTable table = grid_runner(cs, bw).run(plan, pool_, store_,
+                                                    ShardRange{},
+                                                    &last_executed_);
 
   std::vector<GridSweeps> out;
   for (std::size_t i = 0; i < requests.size(); ++i)
@@ -103,6 +116,20 @@ std::vector<GridSweeps> ActiveMeasurer::sweep_grid(
                    assemble(table, ids[i], Resource::kBandwidth,
                             requests[i].bandwidth_threads)});
   return out;
+}
+
+std::size_t ActiveMeasurer::sweep_grid_shard(
+    const std::vector<GridRequest>& requests, ShardRange shard,
+    const interfere::CSThrConfig& cs, const interfere::BWThrConfig& bw) {
+  if (store_ == nullptr)
+    throw std::logic_error(
+        "sweep_grid_shard: a result store must be set — a shard's only "
+        "output is the records it persists");
+  std::vector<WorkloadId> ids;
+  const ExperimentPlan plan = build_grid(requests, ids);
+  last_planned_ = plan.shard(shard.index, shard.count).size();
+  grid_runner(cs, bw).run(plan, pool_, store_, shard, &last_executed_);
+  return last_executed_;
 }
 
 ResourceBounds ActiveMeasurer::bounds(const SweepResult& sweep,

@@ -69,6 +69,18 @@ class ActiveMeasurer {
   /// of its position in the plan, not of scheduling.
   void set_pool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Result cache consulted and filled by sweep_grid from now on (nullptr
+  /// = always recompute). Persisting the store between invocations makes
+  /// re-running an unchanged grid free; the caller owns save/load.
+  void set_store(ResultStore* store) { store_ = store; }
+
+  /// Engine runs actually executed by the most recent sweep_grid /
+  /// sweep_grid_shard call (cache hits excluded), and the number of grid
+  /// points that call was responsible for (its shard of the plan). The
+  /// difference is the cache hits.
+  std::size_t last_executed() const { return last_executed_; }
+  std::size_t last_planned() const { return last_planned_; }
+
   /// Runs the workload with 0..max_threads interference threads per socket.
   /// Delegates to SweepRunner; every level reuses the backend's seed, so
   /// the result is bit-identical to the historical serial loop.
@@ -83,6 +95,16 @@ class ActiveMeasurer {
   std::vector<GridSweeps> sweep_grid(const std::vector<GridRequest>& requests,
                                      const interfere::CSThrConfig& cs = {},
                                      const interfere::BWThrConfig& bw = {});
+
+  /// Runs only `shard` of the grid's plan into the configured store (which
+  /// must be set) and returns the number of engine runs executed. No
+  /// sweeps are assembled — a sharded table is partial by construction;
+  /// merge the shard stores (amresult) and re-run sweep_grid against the
+  /// merged store to assemble the full grid with zero engine runs.
+  std::size_t sweep_grid_shard(const std::vector<GridRequest>& requests,
+                               ShardRange shard,
+                               const interfere::CSThrConfig& cs = {},
+                               const interfere::BWThrConfig& bw = {});
 
   /// Derives per-process bounds from a sweep, given how many application
   /// processes share each socket. `tolerance` is the degradation threshold
@@ -99,11 +121,18 @@ class ActiveMeasurer {
   double availability(Resource resource, std::uint32_t k) const;
   SweepResult assemble(const ResultTable& table, WorkloadId workload,
                        Resource resource, std::uint32_t max_threads) const;
+  ExperimentPlan build_grid(const std::vector<GridRequest>& requests,
+                            std::vector<WorkloadId>& ids) const;
+  SweepRunner grid_runner(const interfere::CSThrConfig& cs,
+                          const interfere::BWThrConfig& bw) const;
 
   SimBackend* backend_;
   CapacityCalibration capacity_;
   BandwidthCalibration bandwidth_;
   ThreadPool* pool_ = nullptr;
+  ResultStore* store_ = nullptr;
+  std::size_t last_executed_ = 0;
+  std::size_t last_planned_ = 0;
 };
 
 }  // namespace am::measure

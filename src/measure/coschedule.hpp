@@ -4,6 +4,22 @@
 // applications' resource profiles are known, predict the cost of placing
 // them on the same socket *without ever co-running them*, by combining
 // each one's measured sensitivity curve with the other's measured use.
+//
+// Contract:
+//
+//   * Profiles come from isolation: an AppProfile is built purely from
+//     the application's own interference sweeps (AppProfile::from_sweeps);
+//     advise() never runs anything — it only intersects two profiles with
+//     the socket's capacity/bandwidth budget.
+//   * Predictions are conservative by construction: sensitivity curves
+//     were measured against CSThr/BWThr interference, which denies
+//     resources more aggressively than a co-running application with its
+//     own locality. A "safe" verdict is trustworthy; an "unsafe" one errs
+//     toward caution.
+//   * Oversubscription is explicit: when combined demand exceeds the
+//     socket, each side is assigned its proportional share and the curves
+//     price the shortfall — the verdict records the oversubscription flags
+//     rather than hiding them inside the slowdown numbers.
 #include <optional>
 #include <string>
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "interfere/host_identity.hpp"
 
 namespace am::measure {
 
@@ -34,8 +35,33 @@ std::string describe(const std::vector<std::string>& names,
 WorkloadId ExperimentPlan::add_workload(WorkloadSpec spec) {
   if (!spec.factory)
     throw std::invalid_argument("ExperimentPlan: workload without factory");
+  // Rejected here — before hours of runs — rather than by the post-run
+  // ResultStore::put, whose line-oriented format cannot hold these.
+  if (spec.name.find_first_of("\t\n\r") != std::string::npos)
+    throw std::invalid_argument(
+        "ExperimentPlan: workload name contains tab/newline: '" + spec.name +
+        "'");
+  for (const auto& w : workloads_)
+    if (w.name == spec.name)
+      throw std::invalid_argument(
+          "ExperimentPlan: duplicate workload name '" + spec.name +
+          "' — names identify workload + parameters in result stores");
   workloads_.push_back(std::move(spec));
   return workloads_.size() - 1;
+}
+
+std::vector<std::size_t> ExperimentPlan::shard(std::size_t index,
+                                               std::size_t count) const {
+  if (count == 0)
+    throw std::invalid_argument("ExperimentPlan::shard: count must be >= 1");
+  if (index >= count)
+    throw std::invalid_argument(
+        "ExperimentPlan::shard: index " + std::to_string(index) +
+        " out of range for " + std::to_string(count) + " shards");
+  std::vector<std::size_t> owned;
+  for (std::size_t i = index; i < points_.size(); i += count)
+    owned.push_back(i);
+  return owned;
 }
 
 void ExperimentPlan::add_point(WorkloadId workload, Resource resource,
@@ -61,6 +87,12 @@ bool ResultTable::has_baseline(WorkloadId workload) const {
   return has(workload, Resource::kCacheStorage, 0);
 }
 
+const SimRunResult* ResultTable::get(WorkloadId workload, Resource resource,
+                                     std::uint32_t threads) const {
+  const auto it = rows_.find(key_of(workload, resource, threads));
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
 const SimRunResult& ResultTable::at(WorkloadId workload, Resource resource,
                                     std::uint32_t threads) const {
   const auto it = rows_.find(key_of(workload, resource, threads));
@@ -84,6 +116,19 @@ double ResultTable::slowdown(WorkloadId workload, Resource resource,
 SweepRunner::SweepRunner(sim::MachineConfig machine, SweepRunnerOptions opts)
     : machine_(std::move(machine)), opts_(opts) {
   machine_.validate();
+  machine_fp_ = machine_fingerprint(machine_);
+}
+
+ScenarioKey SweepRunner::key_for(const ExperimentPlan& plan,
+                                 std::size_t plan_index) const {
+  const ExperimentPoint& pt = plan.points().at(plan_index);
+  const InterferenceSpec spec =
+      pt.resource == Resource::kCacheStorage
+          ? InterferenceSpec::storage(pt.threads, opts_.cs)
+          : InterferenceSpec::bandwidth(pt.threads, opts_.bw);
+  return ScenarioKey::make(machine_fp_, plan.workloads()[pt.workload].name,
+                           pt.resource, pt.threads, spec_signature(spec),
+                           seed_for(plan_index), opts_.max_cycles);
 }
 
 std::uint64_t SweepRunner::seed_for(std::size_t plan_index) const {
@@ -96,12 +141,32 @@ std::uint64_t SweepRunner::seed_for(std::size_t plan_index) const {
 
 ResultTable SweepRunner::run(const ExperimentPlan& plan,
                              ThreadPool* pool) const {
-  const auto& points = plan.points();
-  std::vector<SimRunResult> results(points.size());
-  std::vector<std::exception_ptr> errors(points.size());
+  return run(plan, pool, /*store=*/nullptr, ShardRange{});
+}
 
-  auto run_one = [&](std::size_t i) {
+ResultTable SweepRunner::run(const ExperimentPlan& plan, ThreadPool* pool,
+                             ResultStore* store, ShardRange shard,
+                             std::size_t* executed) const {
+  const auto& points = plan.points();
+  const auto owned = plan.shard(shard.index, shard.count);
+
+  // Cache pass (serial, read-only): slot s of `results` holds the outcome
+  // of plan point owned[s]; `todo` collects the slots that must run.
+  std::vector<SimRunResult> results(owned.size());
+  std::vector<std::size_t> todo;
+  for (std::size_t s = 0; s < owned.size(); ++s) {
+    if (store != nullptr)
+      if (const SimRunResult* hit = store->find(key_for(plan, owned[s]))) {
+        results[s] = *hit;
+        continue;
+      }
+    todo.push_back(s);
+  }
+
+  std::vector<std::exception_ptr> errors(todo.size());
+  auto run_one = [&](std::size_t t) {
     try {
+      const std::size_t i = owned[todo[t]];
       const ExperimentPoint& pt = points[i];
       const WorkloadSpec& w = plan.workloads()[pt.workload];
       const InterferenceSpec spec =
@@ -109,28 +174,37 @@ ResultTable SweepRunner::run(const ExperimentPlan& plan,
               ? InterferenceSpec::storage(pt.threads, opts_.cs)
               : InterferenceSpec::bandwidth(pt.threads, opts_.bw);
       SimBackend backend(machine_, seed_for(i));
-      results[i] = backend.run(w.factory, spec, opts_.max_cycles);
+      results[todo[t]] = backend.run(w.factory, spec, opts_.max_cycles);
     } catch (...) {
       // Pool tasks must not throw; surface the failure after the barrier.
-      errors[i] = std::current_exception();
+      errors[t] = std::current_exception();
     }
   };
 
-  if (pool != nullptr && points.size() > 1)
-    parallel_for(*pool, points.size(), opts_.grain, run_one);
+  if (pool != nullptr && todo.size() > 1)
+    parallel_for(*pool, todo.size(), opts_.grain, run_one);
   else
-    for (std::size_t i = 0; i < points.size(); ++i) run_one(i);
+    for (std::size_t t = 0; t < todo.size(); ++t) run_one(t);
 
   for (const auto& error : errors)
     if (error) std::rethrow_exception(error);
 
+  if (executed != nullptr) *executed = todo.size();
+  if (store != nullptr && !todo.empty()) {
+    // One host probe for the batch; every fresh record carries it.
+    const std::string host =
+        interfere::HostIdentity::detect().fingerprint();
+    for (const std::size_t t : todo)
+      store->put(key_for(plan, owned[t]), results[t], host);
+  }
+
   ResultTable table;
   for (const auto& w : plan.workloads())
     table.workload_names_.push_back(w.name);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const ExperimentPoint& pt = points[i];
+  for (std::size_t s = 0; s < owned.size(); ++s) {
+    const ExperimentPoint& pt = points[owned[s]];
     table.rows_.emplace(key_of(pt.workload, pt.resource, pt.threads),
-                        results[i]);
+                        results[s]);
   }
   return table;
 }

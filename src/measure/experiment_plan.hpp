@@ -17,6 +17,11 @@
 //     column.
 //   * Timeout propagation: the per-run cycle budget reaches every engine,
 //     and truncated runs surface as SimRunResult::timed_out.
+//   * Caching & sharding: a run can consult a ResultStore (hit → reuse,
+//     miss → run and record) and can execute only one shard of the plan
+//     (ExperimentPlan::shard), so a grid splits across processes/machines
+//     and re-running an unchanged grid costs zero engine runs. Cached and
+//     recomputed tables are bit-identical.
 #include <cstdint>
 #include <map>
 #include <set>
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "measure/result_store.hpp"
 #include "measure/sim_backend.hpp"
 
 namespace am::measure {
@@ -47,6 +53,11 @@ struct ExperimentPoint {
 
 class ExperimentPlan {
  public:
+  /// Registers a workload. Names must be unique within a plan: the name is
+  /// the workload's identity in ResultStore keys (parameters belong in the
+  /// name, e.g. "particles=90000"), so a duplicate would alias two
+  /// different experiments. Throws std::invalid_argument on a duplicate
+  /// name or a null factory.
   WorkloadId add_workload(WorkloadSpec spec);
 
   /// Adds one grid point. Duplicates are dropped; threads == 0 points are
@@ -63,6 +74,15 @@ class ExperimentPlan {
   /// this vector is its plan index, which seeds its engine.
   const std::vector<ExperimentPoint>& points() const { return points_; }
   std::size_t size() const { return points_.size(); }
+
+  /// Plan indices owned by shard `index` of `count`: the round-robin slice
+  /// {i : i ≡ index (mod count)}, in ascending order. For any count the
+  /// shards are disjoint and cover the plan exactly; a shard keeps its
+  /// points' original plan indices, so per-point seeds — and therefore
+  /// results — are identical to an unsharded run. count > size() simply
+  /// leaves the high shards empty. Throws std::invalid_argument when
+  /// count == 0 or index >= count.
+  std::vector<std::size_t> shard(std::size_t index, std::size_t count) const;
 
  private:
   std::vector<WorkloadSpec> workloads_;
@@ -81,6 +101,11 @@ class ResultTable {
   /// scenario if the plan never ran it.
   const SimRunResult& at(WorkloadId workload, Resource resource,
                          std::uint32_t threads) const;
+
+  /// Non-throwing lookup: the result, or nullptr when the scenario never
+  /// ran (e.g. a point owned by another shard).
+  const SimRunResult* get(WorkloadId workload, Resource resource,
+                          std::uint32_t threads) const;
 
   /// The shared zero-interference run. A missing baseline is a hard error
   /// (std::out_of_range), never a silent zero: dividing by a default 0.0
@@ -125,6 +150,22 @@ class SweepRunner {
   /// experiment throws is rethrown (in plan order) after all runs settle.
   ResultTable run(const ExperimentPlan& plan, ThreadPool* pool = nullptr) const;
 
+  /// Cache-aware, shardable run. Only the points of `shard` enter the
+  /// table; for each, a `store` hit is reused verbatim (bit-identical to a
+  /// fresh run) and a miss is executed and recorded into the store. The
+  /// caller persists the store (ResultStore::save) when it wants the cache
+  /// durable. `executed`, when non-null, receives the number of engine
+  /// runs actually performed — zero on a fully cached re-run.
+  ResultTable run(const ExperimentPlan& plan, ThreadPool* pool,
+                  ResultStore* store, ShardRange shard,
+                  std::size_t* executed = nullptr) const;
+
+  /// The ResultStore key of one plan point — covers the simulated-machine
+  /// fingerprint, the workload's name, the (normalized) scenario, this
+  /// runner's per-index seed, and the cycle budget.
+  ScenarioKey key_for(const ExperimentPlan& plan,
+                      std::size_t plan_index) const;
+
   /// The engine seed a given plan index runs with.
   std::uint64_t seed_for(std::size_t plan_index) const;
 
@@ -134,6 +175,7 @@ class SweepRunner {
  private:
   sim::MachineConfig machine_;
   SweepRunnerOptions opts_;
+  std::string machine_fp_;  // machine_fingerprint(machine_), cached
 };
 
 }  // namespace am::measure

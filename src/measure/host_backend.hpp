@@ -3,7 +3,20 @@
 // interference threads with wall-clock timing and (when permitted)
 // hardware counters. This is the deployment path of the library on an
 // actual shared-cache machine; the simulator backend mirrors its sweep
-// semantics for reproducible experiments.
+// semantics for reproducible experiments. Guarantees:
+//
+//   * Interference reaches steady state first: threads are started,
+//     optionally pinned (HostRunOptions::cpus), and given settle_seconds
+//     before timing begins — mirroring the paper's seconds-long
+//     measurements, where cache residency is established long before the
+//     measured window.
+//   * Graceful counter degradation: perf_event_open is frequently
+//     forbidden (containers, locked-down kernels); counters come back as
+//     std::nullopt rather than failing the run, and the timing is always
+//     valid.
+//   * Results are *not* deterministic — this is real hardware. Records
+//     from host runs are only comparable on the same machine, which is
+//     why result stores carry interfere::HostIdentity fingerprints.
 #include <cstdint>
 #include <functional>
 #include <optional>

@@ -1,8 +1,16 @@
 #pragma once
 // Thin perf_event_open wrapper: the host-side analogue of the hardware
-// counters the paper reads (L3 misses/references, cycles). Containers and
-// locked-down kernels frequently forbid perf; everything degrades to
-// available() == false rather than failing.
+// counters the paper reads (L3 misses/references, cycles). Guarantees:
+//
+//   * Never fatal: containers and locked-down kernels frequently forbid
+//     perf (perf_event_paranoid, seccomp); every failure mode degrades to
+//     available() == false with the reason recorded, so measurement code
+//     can fall back to wall-clock-only results instead of aborting.
+//   * Best-effort breadth: the cycle counter gates availability; the
+//     instruction/cache counters are opened opportunistically and simply
+//     read 0 when the PMU denies them.
+//   * Move-only ownership: the set owns its fds; moved-from sets are
+//     empty and safely destructible.
 #include <cstdint>
 #include <optional>
 #include <string>

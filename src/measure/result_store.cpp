@@ -1,0 +1,421 @@
+#include "measure/result_store.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/fingerprint.hpp"
+#include "interfere/host_identity.hpp"
+
+namespace am::measure {
+
+namespace {
+
+constexpr const char* kHeader = "#am-result-store v1";
+// key-fp host machine workload resource threads spec seed max_cycles
+// seconds cycles + 12 counters + miss-rate app-bw total-bw ithreads
+// timed_out.
+constexpr std::size_t kColumns = 28;
+
+[[noreturn]] void fail(const std::string& path, std::size_t line,
+                       const std::string& why) {
+  throw std::runtime_error("ResultStore: " + path + ":" +
+                           std::to_string(line) + ": " + why);
+}
+
+/// Hexfloat rendering: round-trips every finite double bit-exactly, so a
+/// cached table is indistinguishable from a recomputed one.
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& s, const std::string& path,
+                    std::size_t line) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+    fail(path, line, "bad floating-point field '" + s + "'");
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& path,
+                        std::size_t line) {
+  // Digits only: strtoull alone would accept whitespace and signs,
+  // silently wrapping an edited "-123" to 2^64-123.
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    fail(path, line, "bad integer field '" + s + "'");
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), nullptr, 10);
+  if (errno == ERANGE)
+    fail(path, line, "integer field out of range: '" + s + "'");
+  return v;
+}
+
+Resource parse_resource(const std::string& s, const std::string& path,
+                        std::size_t line) {
+  for (const auto r : {Resource::kCacheStorage, Resource::kBandwidth})
+    if (s == resource_name(r)) return r;
+  fail(path, line, "unknown resource '" + s + "'");
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Field-by-field bitwise equality (memcmp over the whole struct would
+/// also compare padding bytes, which are unspecified).
+bool bits_equal(const SimRunResult& a, const SimRunResult& b) {
+  return bits_equal(a.seconds, b.seconds) && a.cycles == b.cycles &&
+         a.app.loads == b.app.loads && a.app.stores == b.app.stores &&
+         a.app.l1_hits == b.app.l1_hits && a.app.l2_hits == b.app.l2_hits &&
+         a.app.l3_hits == b.app.l3_hits &&
+         a.app.mem_accesses == b.app.mem_accesses &&
+         a.app.prefetch_issued == b.app.prefetch_issued &&
+         a.app.prefetch_dropped == b.app.prefetch_dropped &&
+         a.app.writebacks == b.app.writebacks &&
+         a.app.bytes_from_mem == b.app.bytes_from_mem &&
+         a.app.compute_cycles == b.app.compute_cycles &&
+         a.app.stall_cycles == b.app.stall_cycles &&
+         bits_equal(a.app_l3_miss_rate, b.app_l3_miss_rate) &&
+         bits_equal(a.app_mem_bandwidth, b.app_mem_bandwidth) &&
+         bits_equal(a.total_mem_bandwidth, b.total_mem_bandwidth) &&
+         a.interference_threads == b.interference_threads &&
+         a.timed_out == b.timed_out;
+}
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto tab = line.find('\t', start);
+    out.push_back(line.substr(start, tab - start));
+    if (tab == std::string::npos) return out;
+    start = tab + 1;
+  }
+}
+
+}  // namespace
+
+std::string machine_fingerprint(const sim::MachineConfig& m) {
+  Fingerprint fp;
+  fp.mix(kResultEpoch)
+      .mix(m.name)
+      .mix(m.nodes)
+      .mix(m.sockets_per_node)
+      .mix(m.cores_per_socket)
+      .mix(m.frequency_ghz);
+  for (const auto* c : {&m.l1, &m.l2, &m.l3})
+    fp.mix(c->size_bytes)
+        .mix(c->line_bytes)
+        .mix(c->ways)
+        .mix(c->insert_age)
+        .mix(c->replacement);
+  fp.mix(m.l1_latency)
+      .mix(m.l2_latency)
+      .mix(m.l3_latency)
+      .mix(m.mem_latency)
+      .mix(m.mem_bandwidth_bytes_per_sec)
+      .mix(m.writeback_cost_factor)
+      .mix(m.link_bandwidth_bytes_per_sec)
+      .mix(m.link_latency)
+      .mix(m.max_outstanding_misses)
+      .mix(m.l3_hint_interval)
+      .mix(m.prefetcher.num_streams)
+      .mix(m.prefetcher.degree)
+      .mix(m.prefetcher.confirm_threshold)
+      .mix(m.prefetcher.max_stride_lines)
+      .mix(m.prefetcher.page_lines)
+      .mix(m.prefetcher.enabled);
+  return fp.hex();
+}
+
+std::string store_path(const std::string& results_dir,
+                       const std::string& driver, ShardRange shard) {
+  std::string name = driver;
+  if (shard.sharded())
+    name += ".shard" + std::to_string(shard.index) + "of" +
+            std::to_string(shard.count);
+  return (std::filesystem::path(results_dir) / (name + ".tsv")).string();
+}
+
+std::string spec_signature(const InterferenceSpec& spec) {
+  if (spec.count == 0) return "none";
+  std::ostringstream out;
+  if (spec.resource == Resource::kCacheStorage)
+    out << "cs:b" << spec.cs.buffer_bytes << ":n" << spec.cs.batch_size;
+  else
+    out << "bw:b" << spec.bw.buffer_bytes << ":n" << spec.bw.num_buffers
+        << ":s" << spec.bw.line_stride << ":i" << spec.bw.index_compute_cycles
+        << ":g" << spec.bw.buffers_per_step;
+  out << ":w" << spec.warmup_cycles;
+  return out.str();
+}
+
+ScenarioKey ScenarioKey::make(std::string machine, std::string workload,
+                              Resource resource, std::uint32_t threads,
+                              std::string spec, std::uint64_t seed,
+                              std::uint64_t max_cycles) {
+  ScenarioKey key;
+  key.machine = std::move(machine);
+  key.workload = std::move(workload);
+  // A baseline runs no interference agents, so its nominal resource and
+  // interference configuration cannot affect the result; normalize them
+  // away exactly like ResultTable keys do.
+  key.resource = threads == 0 ? Resource::kCacheStorage : resource;
+  key.threads = threads;
+  key.spec = threads == 0 ? "none" : std::move(spec);
+  key.seed = seed;
+  key.max_cycles = max_cycles;
+  return key;
+}
+
+std::string ScenarioKey::fingerprint() const {
+  Fingerprint fp;
+  fp.mix(machine)
+      .mix(workload)
+      .mix(resource)
+      .mix(threads)
+      .mix(spec)
+      .mix(seed)
+      .mix(max_cycles);
+  return fp.hex();
+}
+
+ResultStore ResultStore::load(const std::string& path,
+                              const StoreLoadOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ResultStore: cannot open " + path);
+
+  std::string line;
+  std::size_t lineno = 1;
+  const auto strip_cr = [](std::string& s) {
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+  };
+  if (!std::getline(in, line)) fail(path, lineno, "empty file (no header)");
+  strip_cr(line);
+  if (line != kHeader) {
+    if (line.rfind("#am-result-store", 0) == 0)
+      fail(path, lineno,
+           "format version mismatch: file says '" + line + "', this build " +
+               "reads v" + std::to_string(kFormatVersion) +
+               " — re-run the sweep or convert the store");
+    fail(path, lineno, "not a result store (missing '" +
+                           std::string(kHeader) + "' header)");
+  }
+
+  ResultStore store;
+  while (std::getline(in, line)) {
+    ++lineno;
+    strip_cr(line);
+    if (line.empty() || line[0] == '#') continue;  // comments permitted
+    const auto cols = split_tabs(line);
+    if (cols.size() != kColumns)
+      fail(path, lineno,
+           "expected " + std::to_string(kColumns) + " fields, got " +
+               std::to_string(cols.size()));
+
+    ResultRecord rec;
+    rec.host = cols[1];
+    rec.key.machine = cols[2];
+    rec.key.workload = cols[3];
+    rec.key.resource = parse_resource(cols[4], path, lineno);
+    rec.key.threads =
+        static_cast<std::uint32_t>(parse_u64(cols[5], path, lineno));
+    rec.key.spec = cols[6];
+    rec.key.seed = parse_u64(cols[7], path, lineno);
+    rec.key.max_cycles = parse_u64(cols[8], path, lineno);
+
+    auto& r = rec.result;
+    r.seconds = parse_double(cols[9], path, lineno);
+    r.cycles = parse_u64(cols[10], path, lineno);
+    auto& c = r.app;
+    c.loads = parse_u64(cols[11], path, lineno);
+    c.stores = parse_u64(cols[12], path, lineno);
+    c.l1_hits = parse_u64(cols[13], path, lineno);
+    c.l2_hits = parse_u64(cols[14], path, lineno);
+    c.l3_hits = parse_u64(cols[15], path, lineno);
+    c.mem_accesses = parse_u64(cols[16], path, lineno);
+    c.prefetch_issued = parse_u64(cols[17], path, lineno);
+    c.prefetch_dropped = parse_u64(cols[18], path, lineno);
+    c.writebacks = parse_u64(cols[19], path, lineno);
+    c.bytes_from_mem = parse_u64(cols[20], path, lineno);
+    c.compute_cycles = parse_u64(cols[21], path, lineno);
+    c.stall_cycles = parse_u64(cols[22], path, lineno);
+    r.app_l3_miss_rate = parse_double(cols[23], path, lineno);
+    r.app_mem_bandwidth = parse_double(cols[24], path, lineno);
+    r.total_mem_bandwidth = parse_double(cols[25], path, lineno);
+    r.interference_threads = parse_u64(cols[26], path, lineno);
+    const auto timed_out = parse_u64(cols[27], path, lineno);
+    if (timed_out > 1) fail(path, lineno, "timed_out must be 0 or 1");
+    r.timed_out = timed_out != 0;
+
+    if (rec.key.fingerprint() != cols[0])
+      fail(path, lineno,
+           "fingerprint mismatch (stored " + cols[0] + ", fields hash to " +
+               rec.key.fingerprint() + ") — record was edited or corrupted");
+    if (!opts.expect_host.empty() && rec.host != opts.expect_host)
+      fail(path, lineno,
+           "host fingerprint mismatch: record was measured on host " +
+               rec.host + ", expected " + opts.expect_host +
+               " — refusing to mix machines' numbers");
+    if (!opts.expect_machine.empty() && rec.key.machine != opts.expect_machine)
+      fail(path, lineno,
+           "simulated-machine fingerprint mismatch: record is for machine " +
+               rec.key.machine + ", expected " + opts.expect_machine);
+
+    const auto [it, inserted] = store.records_.emplace(cols[0], rec);
+    if (!inserted && !(it->second.key == rec.key))
+      fail(path, lineno, "fingerprint collision between two distinct keys");
+    if (!inserted && !bits_equal(it->second.result, rec.result))
+      // Hand-concatenated shard files, not `amresult merge`: the same
+      // scenario appears twice with different numbers. Refuse to pick.
+      fail(path, lineno,
+           "duplicate record for scenario '" + rec.key.workload + "' × " +
+               resource_name(rec.key.resource) + " × " +
+               std::to_string(rec.key.threads) +
+               " threads with conflicting results — one of them is stale");
+  }
+  return store;
+}
+
+ResultStore ResultStore::load_or_empty(const std::string& path,
+                                       const StoreLoadOptions& opts) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return {};
+  return load(path, opts);
+}
+
+bool ResultStore::has(const ScenarioKey& key) const {
+  return find(key) != nullptr;
+}
+
+const SimRunResult* ResultStore::find(const ScenarioKey& key) const {
+  const auto it = records_.find(key.fingerprint());
+  if (it == records_.end() || !(it->second.key == key)) return nullptr;
+  return &it->second.result;
+}
+
+void ResultStore::put(const ScenarioKey& key, const SimRunResult& result,
+                      std::string host) {
+  for (const auto* field : {&key.workload, &key.machine, &key.spec})
+    if (field->find_first_of("\t\n\r") != std::string::npos)
+      throw std::invalid_argument(
+          "ResultStore: key field contains tab/newline: '" + *field + "'");
+  if (host.empty())
+    host = interfere::HostIdentity::detect().fingerprint();
+  const auto fp = key.fingerprint();
+  const auto it = records_.find(fp);
+  if (it != records_.end() && !(it->second.key == key))
+    throw std::runtime_error(
+        "ResultStore: fingerprint collision between distinct keys (" +
+        it->second.key.workload + " vs " + key.workload + ")");
+  records_[fp] = ResultRecord{key, std::move(host), result};
+}
+
+void ResultStore::merge(const ResultStore& other) {
+  for (const auto& [fp, rec] : other.records_) {
+    const auto it = records_.find(fp);
+    if (it == records_.end()) {
+      records_.emplace(fp, rec);
+      continue;
+    }
+    if (!(it->second.key == rec.key))
+      throw std::runtime_error(
+          "ResultStore::merge: fingerprint collision between distinct keys");
+    // Bitwise payload agreement: sim runs are deterministic, so two stores
+    // holding the same key must hold the same numbers. Disagreement means
+    // a stale store or a mislabeled workload — refuse to pick a winner.
+    if (!bits_equal(it->second.result, rec.result))
+      throw std::runtime_error(
+          "ResultStore::merge: conflicting results for scenario '" +
+          rec.key.workload + "' × " + resource_name(rec.key.resource) +
+          " × " + std::to_string(rec.key.threads) +
+          " threads — stores disagree; one of them is stale");
+  }
+}
+
+void ResultStore::save(const std::string& path) const {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  for (const auto& [fp, rec] : records_) {
+    const auto& r = rec.result;
+    const auto& c = r.app;
+    out << fp << '\t' << rec.host << '\t' << rec.key.machine << '\t'
+        << rec.key.workload << '\t' << resource_name(rec.key.resource)
+        << '\t' << rec.key.threads << '\t' << rec.key.spec << '\t'
+        << rec.key.seed << '\t' << rec.key.max_cycles << '\t'
+        << num(r.seconds) << '\t' << r.cycles
+        << '\t' << c.loads << '\t' << c.stores << '\t' << c.l1_hits << '\t'
+        << c.l2_hits << '\t' << c.l3_hits << '\t' << c.mem_accesses << '\t'
+        << c.prefetch_issued << '\t' << c.prefetch_dropped << '\t'
+        << c.writebacks << '\t' << c.bytes_from_mem << '\t'
+        << c.compute_cycles << '\t' << c.stall_cycles << '\t'
+        << num(r.app_l3_miss_rate) << '\t' << num(r.app_mem_bandwidth)
+        << '\t' << num(r.total_mem_bandwidth) << '\t'
+        << r.interference_threads << '\t' << (r.timed_out ? 1 : 0) << '\n';
+  }
+  std::ofstream file(path, std::ios::trunc);
+  if (!file || !(file << out.str()) || !file.flush())
+    throw std::runtime_error("ResultStore: failed to write " + path);
+}
+
+std::vector<const ResultRecord*> ResultStore::records() const {
+  std::vector<const ResultRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& [fp, rec] : records_) out.push_back(&rec);
+  return out;
+}
+
+std::vector<std::string> ResultStore::hosts() const {
+  std::vector<std::string> out;
+  for (const auto& [fp, rec] : records_)
+    if (std::find(out.begin(), out.end(), rec.host) == out.end())
+      out.push_back(rec.host);
+  return out;
+}
+
+ResultStoreFile::ResultStoreFile(const std::string& results_dir,
+                                 const std::string& driver, ShardRange shard)
+    : shard_(shard), driver_(driver), results_dir_(results_dir) {
+  if (results_dir.empty()) {
+    if (shard.sharded())
+      throw std::invalid_argument(
+          "--shard requires --results-dir: a shard's only output is its "
+          "store file");
+    return;
+  }
+  std::filesystem::create_directories(results_dir);
+  path_ = store_path(results_dir, driver, shard);
+  store_ = ResultStore::load_or_empty(path_);
+}
+
+bool ResultStoreFile::finish(std::size_t executed, std::size_t planned,
+                             std::ostream& out) {
+  if (path_.empty()) return false;
+  store_.save(path_);
+  // `reused` counts this invocation's cache hits only — the store may
+  // also hold records of other machines/grids, which were neither.
+  const std::size_t reused = planned > executed ? planned - executed : 0;
+  out << "results: " << store_.size() << " records in " << path_ << " ("
+      << executed << " executed, " << reused << " reused)\n";
+  if (!shard_.sharded()) return false;
+  out << "shard " << shard_.index << "/" << shard_.count
+      << " complete; merge all shards with\n  amresult merge --out "
+      << store_path(results_dir_, driver_) << " "
+      << store_path(results_dir_, driver_, {0, shard_.count})
+      << " ...\nthen re-run without --shard to print the figure from "
+         "cache.\n";
+  return true;
+}
+
+}  // namespace am::measure

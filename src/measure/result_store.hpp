@@ -1,0 +1,203 @@
+#pragma once
+// Persistent, content-addressed cache of experiment results.
+//
+// The paper's evaluation re-runs the same (workload × resource × threads)
+// grids over and over — across figure drivers, across --quick and full
+// sweeps, and (with ExperimentPlan::shard) across machines. A ResultStore
+// makes every completed grid point durable: each SimRunResult is keyed by a
+// ScenarioKey fingerprint covering everything that determines the number —
+// the simulated machine, the workload's name (which embeds its parameters),
+// the interference resource and thread count, the engine seed, and the
+// cycle budget. Guarantees:
+//
+//   * Exactness: doubles are serialized as C99 hexfloats, so a result read
+//     back from disk is bit-identical to the freshly computed one and a
+//     cached ResultTable is indistinguishable from a recomputed one.
+//   * Diff/merge-ability: the on-disk format is one TSV record per line,
+//     written in canonical (fingerprint-sorted) order under a versioned
+//     header, so stores diff cleanly and shard stores merge with plain
+//     collision checking (`amresult merge`).
+//   * No silent mixing: every record carries the producing host's
+//     fingerprint (interfere::HostIdentity); loading verifies the format
+//     version, per-record integrity, and — when requested — that records
+//     come from the expected host and simulated machine, failing with a
+//     clear error instead of quietly blending numbers from two machines.
+//
+// File format (version 1):
+//   line 1:  "#am-result-store v1"
+//   line N:  key-fp  host-fp  machine-fp  workload  resource  threads
+//            seed  max_cycles  seconds  cycles  <12 counter fields>
+//            l3_miss_rate  app_bw  total_bw  interference_threads
+//            timed_out              (tab-separated, one record per line)
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/shard.hpp"
+#include "measure/sim_backend.hpp"
+#include "sim/machine.hpp"
+
+namespace am::measure {
+
+/// Bump whenever simulator or measurement code changes the numbers a run
+/// produces (engine timing fixes, counter semantics, agent behaviour).
+/// The epoch is mixed into every machine fingerprint, so stores written
+/// by older code stop matching — a re-run recomputes instead of silently
+/// reproducing pre-fix results from cache.
+inline constexpr std::uint32_t kResultEpoch = 1;
+
+/// Stable 16-hex-digit digest of every MachineConfig field that can change
+/// simulation results, plus kResultEpoch. Two configs with equal
+/// fingerprints produce bit-identical runs for equal (workload, spec,
+/// seed, budget) under the same code epoch.
+std::string machine_fingerprint(const sim::MachineConfig& machine);
+
+/// The store-file naming policy every driver shares, so `amresult merge`
+/// and a later cached re-run agree on paths: an unsharded run of driver D
+/// reads/writes <results_dir>/D.tsv; shard i of n writes
+/// <results_dir>/D.shard<i>of<n>.tsv. Merging the shard files into D.tsv
+/// is exactly what makes the next unsharded run fully cached.
+std::string store_path(const std::string& results_dir,
+                       const std::string& driver, ShardRange shard = {});
+
+/// Canonical signature of an interference configuration — every CSThr /
+/// BWThr parameter that changes the interference agents' behaviour, e.g.
+/// "cs:b262144:n4:w1000000". Zero-thread specs normalize to "none": no
+/// agents run, so their configuration cannot affect the result.
+std::string spec_signature(const InterferenceSpec& spec);
+
+/// Everything that determines one experiment's SimRunResult. Workload
+/// parameters are covered through the workload *name*, so names must
+/// uniquely identify workload + parameters within a store (the drivers
+/// embed sizes/mappings in their names, e.g. "particles=90000").
+struct ScenarioKey {
+  std::string machine;   // machine_fingerprint(...) of the simulated machine
+  std::string workload;  // WorkloadSpec::name (no tabs/newlines)
+  Resource resource = Resource::kCacheStorage;
+  std::uint32_t threads = 0;
+  std::string spec;      // spec_signature(...) of the interference config
+  std::uint64_t seed = 0;
+  std::uint64_t max_cycles = 0;
+
+  /// Builds a normalized key: threads == 0 points are baselines, whose
+  /// nominal resource and interference configuration are irrelevant (no
+  /// agents run) — resource is forced to kCacheStorage and spec to "none",
+  /// the same normalization ResultTable keys use.
+  static ScenarioKey make(std::string machine, std::string workload,
+                          Resource resource, std::uint32_t threads,
+                          std::string spec, std::uint64_t seed,
+                          std::uint64_t max_cycles);
+
+  /// 16-hex-digit digest of the canonical field encoding; the record's
+  /// content address in the store file.
+  std::string fingerprint() const;
+
+  bool operator==(const ScenarioKey&) const = default;
+};
+
+/// One stored experiment: its key, the fingerprint of the host that ran it
+/// (provenance; sim results do not depend on it), and the result.
+struct ResultRecord {
+  ScenarioKey key;
+  std::string host;
+  SimRunResult result;
+};
+
+/// Options for ResultStore::load. Empty expectations skip that check.
+struct StoreLoadOptions {
+  /// Reject records produced on a different physical host. Pass
+  /// HostIdentity::detect().fingerprint() for host-measured data; leave
+  /// empty for simulator stores, which are host-independent.
+  std::string expect_host;
+  /// Reject records for a different simulated machine.
+  std::string expect_machine;
+};
+
+class ResultStore {
+ public:
+  static constexpr int kFormatVersion = 1;
+
+  /// Parses a version-1 store file. Throws std::runtime_error (naming the
+  /// path, line, and reason) on an unknown version, a malformed record, a
+  /// record whose stored fingerprint does not match its fields, or a
+  /// record violating `opts` expectations. A nonexistent file is an error;
+  /// use load_or_empty for opportunistic cache opens.
+  static ResultStore load(const std::string& path,
+                          const StoreLoadOptions& opts = {});
+
+  /// load(...) if `path` exists, otherwise an empty store.
+  static ResultStore load_or_empty(const std::string& path,
+                                   const StoreLoadOptions& opts = {});
+
+  bool has(const ScenarioKey& key) const;
+  /// The stored result, or nullptr on a miss.
+  const SimRunResult* find(const ScenarioKey& key) const;
+
+  /// Inserts or overwrites one record. `host` defaults to this host's
+  /// fingerprint. Throws std::invalid_argument on workload names the
+  /// line-oriented format cannot hold (embedded tab/newline).
+  void put(const ScenarioKey& key, const SimRunResult& result,
+           std::string host = {});
+
+  /// Folds `other` into this store. Records agreeing on key and payload
+  /// deduplicate; records with equal keys but different payloads are a
+  /// hard error (two shards measured the same scenario differently — one
+  /// of them is stale or mislabeled).
+  void merge(const ResultStore& other);
+
+  /// Writes the canonical (fingerprint-sorted) file. Throws
+  /// std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Records in canonical fingerprint order.
+  std::vector<const ResultRecord*> records() const;
+
+  /// Distinct host fingerprints present (merged stores may hold several).
+  std::vector<std::string> hosts() const;
+
+ private:
+  std::map<std::string, ResultRecord> records_;  // fingerprint → record
+};
+
+/// Driver convenience: the store file backing one invocation, named per
+/// the store_path policy. Loads an existing file on construction; records
+/// for other simulated machines (e.g. another --scale) coexist harmlessly
+/// — every ScenarioKey embeds its machine fingerprint, so they can never
+/// satisfy this run's lookups. Disabled entirely (store() == nullptr)
+/// when results_dir is empty, so callers can pass the flag value through
+/// unconditionally.
+class ResultStoreFile {
+ public:
+  /// Throws std::invalid_argument for a sharded range without a results
+  /// directory — the one flag pairing every driver must enforce, checked
+  /// here once so drivers cannot silently emit a partial figure.
+  ResultStoreFile(const std::string& results_dir, const std::string& driver,
+                  ShardRange shard = {});
+
+  /// The backing store, or nullptr when disabled.
+  ResultStore* store() { return path_.empty() ? nullptr : &store_; }
+  const std::string& path() const { return path_; }
+
+  /// Persists the store and reports the run's cache economy on `out`:
+  /// `planned` is the number of grid points this invocation was
+  /// responsible for and `executed` how many actually ran (the difference
+  /// is the cache hits). With a sharded range also prints the amresult
+  /// merge handoff and returns true — the caller should skip figure
+  /// emission, its table being partial by construction. No-op (false)
+  /// when disabled.
+  bool finish(std::size_t executed, std::size_t planned, std::ostream& out);
+
+ private:
+  ShardRange shard_;
+  std::string driver_;
+  std::string results_dir_;
+  std::string path_;
+  ResultStore store_;
+};
+
+}  // namespace am::measure

@@ -4,7 +4,17 @@
 // each step until it returns true; the traffic flows through the cache
 // hierarchy exactly like point-to-point messages, so collectives on
 // spread-out mappings consume memory/interconnect bandwidth, as the
-// paper's §IV mapping study observes for MPI communication.
+// paper's §IV mapping study observes for MPI communication. Guarantees:
+//
+//   * Non-blocking progress: a try_* call performs at most one bounded
+//     piece of work (one send, one receive attempt) and returns; it never
+//     spins, so one stalled rank cannot wedge the engine's round-robin.
+//   * Epochs pipeline safely: because channels are FIFO, a rank may enter
+//     all-reduce epoch e+1 while peers still drain epoch e; completed()
+//     counts finished epochs per rank for progress assertions.
+//   * Symmetric calls: every rank must invoke try_allreduce with the same
+//     `bytes` value for a given epoch — the ring's chunking is derived
+//     from it identically on each rank.
 #include <cstdint>
 #include <vector>
 

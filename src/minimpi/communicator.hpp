@@ -9,7 +9,19 @@
 //   - ranks on different nodes additionally pay the interconnect.
 // This reproduces the paper's §IV observation that spreading processes out
 // raises per-process memory bandwidth use because "all the communications
-// go through the memory bus".
+// go through the memory bus". Guarantees:
+//
+//   * Channels are FIFO per (src, dst) pair: messages deliver in send
+//     order, and try_recv only delivers a message whose simulated transfer
+//     (including the inter-node link, when crossed) has completed by the
+//     receiver's current time.
+//   * Buffers are reused, not reallocated: each pair's buffer grows to the
+//     largest message ever sent on it, so long-running collectives do not
+//     leak simulated address space.
+//   * All data movement is attributed: sender stores and receiver loads go
+//     through each side's own cache hierarchy via AgentContext, advancing
+//     that agent's clock — communication cost is measured, never modeled
+//     away.
 #include <cstdint>
 #include <deque>
 #include <map>

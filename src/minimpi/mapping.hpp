@@ -2,7 +2,17 @@
 // Rank-to-core mapping, mirroring the paper's §IV experiments: p MPI
 // processes are packed per processor (socket), leaving 8-p cores per socket
 // free for interference threads. With 24 ranks and p per socket the job
-// spans 24/(2p) two-socket nodes.
+// spans 24/(2p) two-socket nodes. Guarantees:
+//
+//   * Deterministic placement: ranks fill sockets in order (rank r lands
+//     on socket r / per_socket, core r % per_socket of that socket), so a
+//     mapping is a pure function of (machine, num_ranks, per_socket) —
+//     experiment results never depend on construction order.
+//   * Validated up front: a machine without enough sockets/cores throws at
+//     construction, not mid-experiment.
+//   * free_cores() is the interference contract: exactly the cores of a
+//     socket that host no rank, which is where drivers place CSThr/BWThr
+//     threads so interference stays on the shared levels of the hierarchy.
 #include <cstdint>
 #include <vector>
 

@@ -3,6 +3,19 @@
 // final contribution: given how an application responded to calibrated
 // interference levels, predict its runtime on a machine that offers less
 // cache capacity or memory bandwidth (e.g. a future memory-starved node).
+//
+// Contract:
+//
+//   * Conservative monotonicity: input points need not be monotone
+//     (measurements are noisy); queries evaluate the monotone *upper*
+//     envelope, so predicted runtimes never improve as resources shrink
+//     and noise can only make predictions more cautious.
+//   * No extrapolation: predictions clamp outside the measured range —
+//     the curve refuses to invent behaviour below the worst (or above the
+//     best) level that was actually measured.
+//   * active_use_threshold is the paper's Fig. 1 definition: the resource
+//     level below which runtime exceeds baseline * (1 + tolerance); 0
+//     when the application never degraded within the sweep.
 #include <cstdint>
 #include <vector>
 

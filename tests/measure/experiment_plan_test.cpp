@@ -91,6 +91,73 @@ TEST(ExperimentPlan, RejectsUnknownWorkloadAndMissingFactory) {
                std::invalid_argument);
 }
 
+TEST(ExperimentPlan, RejectsDuplicateWorkloadNames) {
+  // Names key the ResultStore; two workloads sharing one would alias.
+  ExperimentPlan plan;
+  plan.add_workload({"w", synth_factory()});
+  EXPECT_THROW(plan.add_workload({"w", synth_factory(0.5)}),
+               std::invalid_argument);
+}
+
+TEST(ExperimentPlan, ShardsCoverExactlyAndNeverOverlap) {
+  ExperimentPlan plan;
+  const auto w = plan.add_workload({"w", synth_factory()});
+  plan.add_sweep(w, Resource::kCacheStorage, 0, 6);  // 7 points
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 11u}) {
+    std::vector<int> owners(plan.size(), 0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (const std::size_t idx : plan.shard(i, n)) {
+        ASSERT_LT(idx, plan.size());
+        ++owners[idx];
+      }
+    for (const int count : owners) EXPECT_EQ(count, 1);  // exact cover
+  }
+}
+
+TEST(ExperimentPlan, ShardEdgeCases) {
+  ExperimentPlan empty;
+  EXPECT_TRUE(empty.shard(0, 4).empty());  // empty plan: empty shards
+
+  ExperimentPlan plan;
+  const auto w = plan.add_workload({"w", synth_factory()});
+  plan.add_point(w, Resource::kCacheStorage, 0);
+  plan.add_point(w, Resource::kCacheStorage, 1);
+  // More shards than points: the high shards are empty, not an error.
+  EXPECT_EQ(plan.shard(0, 5), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(plan.shard(1, 5), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(plan.shard(4, 5).empty());
+  // Invalid specs are errors.
+  EXPECT_THROW(plan.shard(0, 0), std::invalid_argument);
+  EXPECT_THROW(plan.shard(2, 2), std::invalid_argument);
+  EXPECT_THROW(plan.shard(7, 2), std::invalid_argument);
+}
+
+TEST(ResultTable, HasAndGetErrorPaths) {
+  ExperimentPlan plan;
+  const auto w = plan.add_workload({"w", synth_factory()});
+  plan.add_point(w, Resource::kCacheStorage, 0);
+  plan.add_point(w, Resource::kCacheStorage, 1);
+  const SweepRunner runner(machine(), options());
+  const auto table = runner.run(plan);
+
+  EXPECT_TRUE(table.has(w, Resource::kCacheStorage, 1));
+  // A baseline satisfies has() for either nominal resource.
+  EXPECT_TRUE(table.has(w, Resource::kBandwidth, 0));
+  EXPECT_FALSE(table.has(w, Resource::kBandwidth, 1));
+  EXPECT_FALSE(table.has(w + 1, Resource::kCacheStorage, 0));
+
+  ASSERT_NE(table.get(w, Resource::kCacheStorage, 1), nullptr);
+  EXPECT_EQ(table.get(w, Resource::kCacheStorage, 1),
+            &table.at(w, Resource::kCacheStorage, 1));
+  // get() is the non-throwing sibling of at(): same keys, nullptr instead
+  // of std::out_of_range.
+  EXPECT_EQ(table.get(w, Resource::kBandwidth, 1), nullptr);
+  EXPECT_EQ(table.get(w + 1, Resource::kCacheStorage, 0), nullptr);
+  EXPECT_THROW(table.at(w, Resource::kBandwidth, 1), std::out_of_range);
+  EXPECT_THROW(table.at(w + 1, Resource::kCacheStorage, 0),
+               std::out_of_range);
+}
+
 TEST(SweepRunner, SeedsDependOnPlanIndexOnly) {
   const SweepRunner runner(machine(), options());
   EXPECT_NE(runner.seed_for(0), runner.seed_for(1));

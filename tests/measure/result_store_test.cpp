@@ -1,0 +1,398 @@
+#include "measure/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "interfere/host_identity.hpp"
+#include "measure/app_workloads.hpp"
+#include "measure/experiment_plan.hpp"
+#include "model/distributions.hpp"
+
+namespace am::measure {
+namespace {
+
+using model::AccessDistribution;
+using sim::MachineConfig;
+
+constexpr std::uint32_t kScale = 64;
+
+MachineConfig machine() { return MachineConfig::xeon20mb_scaled(kScale); }
+
+class ResultStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("am_result_store_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+ScenarioKey key(std::string workload = "w", std::uint32_t threads = 2,
+                Resource resource = Resource::kCacheStorage) {
+  return ScenarioKey::make("m-fingerprint", std::move(workload), resource,
+                           threads, "cs:b4096:n4:w1000000", 7, 1'000'000);
+}
+
+SimRunResult result(double seconds = 0.125) {
+  SimRunResult r;
+  r.seconds = seconds;
+  r.cycles = 123456;
+  r.app.loads = 1000;
+  r.app.bytes_from_mem = 64 * 77;
+  r.app_l3_miss_rate = 1.0 / 3.0;  // not exactly representable: the
+                                   // round-trip must still be bit-exact
+  r.app_mem_bandwidth = 2.8e9;
+  r.total_mem_bandwidth = 5.6e9;
+  r.interference_threads = 2;
+  return r;
+}
+
+TEST_F(ResultStoreTest, KeyNormalizesBaselines) {
+  const auto storage = ScenarioKey::make("m", "w", Resource::kCacheStorage, 0,
+                                         "cs:whatever", 1, 100);
+  const auto bandwidth = ScenarioKey::make("m", "w", Resource::kBandwidth, 0,
+                                           "bw:other", 1, 100);
+  EXPECT_EQ(storage, bandwidth);
+  EXPECT_EQ(storage.spec, "none");
+  EXPECT_EQ(storage.fingerprint(), bandwidth.fingerprint());
+  const auto interfered =
+      ScenarioKey::make("m", "w", Resource::kBandwidth, 1, "bw:other", 1, 100);
+  EXPECT_NE(interfered.fingerprint(), storage.fingerprint());
+}
+
+TEST_F(ResultStoreTest, FingerprintCoversEveryField) {
+  const auto base = key();
+  auto k = key();
+  k.machine = "other";
+  EXPECT_NE(k.fingerprint(), base.fingerprint());
+  k = key();
+  k.workload = "other";
+  EXPECT_NE(k.fingerprint(), base.fingerprint());
+  k = key();
+  k.resource = Resource::kBandwidth;
+  EXPECT_NE(k.fingerprint(), base.fingerprint());
+  k = key();
+  k.threads += 1;
+  EXPECT_NE(k.fingerprint(), base.fingerprint());
+  k = key();
+  k.spec = "cs:b8192:n4:w1000000";
+  EXPECT_NE(k.fingerprint(), base.fingerprint());
+  k = key();
+  k.seed += 1;
+  EXPECT_NE(k.fingerprint(), base.fingerprint());
+  k = key();
+  k.max_cycles += 1;
+  EXPECT_NE(k.fingerprint(), base.fingerprint());
+}
+
+TEST_F(ResultStoreTest, RoundTripIsBitExact) {
+  ResultStore store;
+  store.put(key("w", 2), result(0.1 + 0.2), "deadbeefdeadbeef");
+  store.put(key("w", 0), result(1.0 / 7.0), "deadbeefdeadbeef");
+  store.save(path("s.tsv"));
+
+  const auto loaded = ResultStore::load(path("s.tsv"));
+  ASSERT_EQ(loaded.size(), 2u);
+  const auto* r = loaded.find(key("w", 2));
+  ASSERT_NE(r, nullptr);
+  const auto orig = result(0.1 + 0.2);
+  EXPECT_EQ(r->seconds, orig.seconds);  // bitwise, via hexfloat
+  EXPECT_EQ(r->cycles, orig.cycles);
+  EXPECT_EQ(r->app.loads, orig.app.loads);
+  EXPECT_EQ(r->app.bytes_from_mem, orig.app.bytes_from_mem);
+  EXPECT_EQ(r->app_l3_miss_rate, orig.app_l3_miss_rate);
+  EXPECT_EQ(r->interference_threads, orig.interference_threads);
+  EXPECT_FALSE(r->timed_out);
+}
+
+TEST_F(ResultStoreTest, FindDistinguishesKeys) {
+  ResultStore store;
+  store.put(key("w", 2), result());
+  EXPECT_TRUE(store.has(key("w", 2)));
+  EXPECT_FALSE(store.has(key("w", 3)));
+  EXPECT_FALSE(store.has(key("other", 2)));
+  EXPECT_EQ(store.find(key("w", 3)), nullptr);
+}
+
+TEST_F(ResultStoreTest, RejectsUnstorableKeyFields) {
+  ResultStore store;
+  EXPECT_THROW(store.put(key("bad\tname"), result()), std::invalid_argument);
+  EXPECT_THROW(store.put(key("bad\nname"), result()), std::invalid_argument);
+}
+
+TEST_F(ResultStoreTest, LoadRejectsMissingFileButLoadOrEmptyTolerates) {
+  EXPECT_THROW(ResultStore::load(path("absent.tsv")), std::runtime_error);
+  EXPECT_TRUE(ResultStore::load_or_empty(path("absent.tsv")).empty());
+}
+
+TEST_F(ResultStoreTest, LoadRejectsVersionMismatch) {
+  {
+    std::ofstream out(path("v9.tsv"));
+    out << "#am-result-store v9\n";
+  }
+  try {
+    ResultStore::load(path("v9.tsv"));
+    FAIL() << "expected version mismatch to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version mismatch"),
+              std::string::npos);
+  }
+  {
+    std::ofstream out(path("garbage.tsv"));
+    out << "hello world\n";
+  }
+  EXPECT_THROW(ResultStore::load(path("garbage.tsv")), std::runtime_error);
+}
+
+TEST_F(ResultStoreTest, LoadRejectsEditedRecords) {
+  ResultStore store;
+  store.put(key(), result());
+  store.save(path("s.tsv"));
+  // Flip the thread count without updating the fingerprint: the content
+  // address no longer matches the fields.
+  std::ifstream in(path("s.tsv"));
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  const auto pos = content.find("\t2\t");
+  ASSERT_NE(pos, std::string::npos);
+  content.replace(pos, 3, "\t3\t");
+  std::ofstream(path("edited.tsv")) << content;
+  try {
+    ResultStore::load(path("edited.tsv"));
+    FAIL() << "expected fingerprint mismatch to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST_F(ResultStoreTest, LoadRejectsForeignHostWhenExpected) {
+  ResultStore store;
+  store.put(key(), result(), "aaaaaaaaaaaaaaaa");
+  store.save(path("s.tsv"));
+
+  StoreLoadOptions opts;
+  opts.expect_host = "bbbbbbbbbbbbbbbb";
+  try {
+    ResultStore::load(path("s.tsv"), opts);
+    FAIL() << "expected host mismatch to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("host fingerprint mismatch"),
+              std::string::npos);
+  }
+  opts.expect_host = "aaaaaaaaaaaaaaaa";
+  EXPECT_EQ(ResultStore::load(path("s.tsv"), opts).size(), 1u);
+}
+
+TEST_F(ResultStoreTest, LoadRejectsForeignMachineWhenExpected) {
+  ResultStore store;
+  store.put(key(), result());
+  store.save(path("s.tsv"));
+  StoreLoadOptions opts;
+  opts.expect_machine = "some-other-machine";
+  EXPECT_THROW(ResultStore::load(path("s.tsv"), opts), std::runtime_error);
+}
+
+TEST_F(ResultStoreTest, LoadRejectsConflictingDuplicateRecords) {
+  // `cat a.tsv b.tsv > c.tsv` instead of `amresult merge`, with a stale
+  // run of one scenario in b: the same key appears twice with different
+  // numbers. load() must refuse to pick a winner (identical duplicates
+  // are fine — they dedupe).
+  ResultStore fresh, stale;
+  fresh.put(key(), result(0.5), "hosta");
+  stale.put(key(), result(0.75), "hosta");
+  fresh.save(path("fresh.tsv"));
+  stale.save(path("stale.tsv"));
+  std::ofstream cat(path("cat.tsv"));
+  for (const char* name : {"fresh.tsv", "stale.tsv"}) {
+    std::ifstream in(path(name));
+    cat << in.rdbuf();
+  }
+  cat.close();
+  try {
+    ResultStore::load(path("cat.tsv"));
+    FAIL() << "expected conflicting duplicate to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("conflicting results"),
+              std::string::npos);
+  }
+
+  std::ofstream dup(path("dup.tsv"));
+  for (int i = 0; i < 2; ++i) {
+    std::ifstream in(path("fresh.tsv"));
+    dup << in.rdbuf();
+  }
+  dup.close();
+  EXPECT_EQ(ResultStore::load(path("dup.tsv")).size(), 1u);
+}
+
+TEST_F(ResultStoreTest, MergeDeduplicatesAndDetectsConflicts) {
+  ResultStore a, b;
+  a.put(key("w", 1), result(0.5), "hosta");
+  b.put(key("w", 1), result(0.5), "hosta");  // identical payload: dedupe
+  b.put(key("w", 2), result(0.25), "hosta");
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+
+  ResultStore conflicting;
+  conflicting.put(key("w", 2), result(0.75), "hosta");  // different payload
+  EXPECT_THROW(a.merge(conflicting), std::runtime_error);
+}
+
+TEST_F(ResultStoreTest, HostsListsDistinctProvenance) {
+  ResultStore store;
+  store.put(key("w", 1), result(), "hosta");
+  store.put(key("w", 2), result(), "hostb");
+  store.put(key("w", 3), result(), "hosta");
+  EXPECT_EQ(store.hosts().size(), 2u);
+}
+
+TEST_F(ResultStoreTest, MachineFingerprintTracksConfig) {
+  const auto base = machine_fingerprint(machine());
+  EXPECT_EQ(base, machine_fingerprint(machine()));
+  auto m = machine();
+  m.l3.size_bytes *= 2;
+  EXPECT_NE(machine_fingerprint(m), base);
+  m = machine();
+  m.mem_bandwidth_bytes_per_sec += 1.0;
+  EXPECT_NE(machine_fingerprint(m), base);
+  m = machine();
+  m.prefetcher.enabled = false;
+  EXPECT_NE(machine_fingerprint(m), base);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-aware and sharded SweepRunner execution.
+
+struct CountingFactory {
+  /// Counts engine instantiations so tests can assert "zero engine runs on
+  /// a cached re-run". shared_ptr: factories are copied into plans.
+  std::shared_ptr<std::atomic<int>> runs =
+      std::make_shared<std::atomic<int>>(0);
+
+  SimBackend::WorkloadFactory factory(double l3_fraction = 1.2,
+                                      std::uint64_t accesses = 6'000) const {
+    const auto elements = static_cast<std::uint64_t>(
+        l3_fraction * static_cast<double>(machine().l3.size_bytes) / 4);
+    auto inner = make_synthetic_workload(apps::SyntheticConfig{
+        AccessDistribution::uniform(elements, "Uni"), 4, 1, elements / 4,
+        accesses});
+    return [runs = runs, inner](sim::Engine& engine) {
+      runs->fetch_add(1);
+      return inner(engine);
+    };
+  }
+};
+
+SweepRunnerOptions options() {
+  SweepRunnerOptions opts;
+  opts.cs.buffer_bytes = 4ull * 1024 * 1024 / kScale;
+  opts.bw.buffer_bytes = 520ull * 1024 / kScale;
+  return opts;
+}
+
+ExperimentPlan small_plan(const CountingFactory& counter) {
+  ExperimentPlan plan;
+  const auto a = plan.add_workload({"a", counter.factory(1.2)});
+  const auto b = plan.add_workload({"b", counter.factory(0.5)});
+  plan.add_sweep(a, Resource::kCacheStorage, 0, 2);
+  plan.add_sweep(a, Resource::kBandwidth, 0, 1);
+  plan.add_sweep(b, Resource::kCacheStorage, 0, 1);
+  return plan;  // 6 unique points (bandwidth k=0 folds into a's baseline)
+}
+
+void expect_identical(const ExperimentPlan& plan, const ResultTable& x,
+                      const ResultTable& y) {
+  ASSERT_EQ(x.size(), y.size());
+  for (const auto& pt : plan.points()) {
+    const auto& rx = x.at(pt.workload, pt.resource, pt.threads);
+    const auto& ry = y.at(pt.workload, pt.resource, pt.threads);
+    EXPECT_EQ(rx.seconds, ry.seconds);  // bitwise
+    EXPECT_EQ(rx.cycles, ry.cycles);
+    EXPECT_EQ(rx.app.loads, ry.app.loads);
+    EXPECT_EQ(rx.app.bytes_from_mem, ry.app.bytes_from_mem);
+    EXPECT_EQ(rx.app_l3_miss_rate, ry.app_l3_miss_rate);
+  }
+}
+
+TEST_F(ResultStoreTest, SecondCachedRunExecutesNothingAndIsBitIdentical) {
+  const CountingFactory counter;
+  const auto plan = small_plan(counter);
+  const SweepRunner runner(machine(), options());
+
+  ResultStore store;
+  std::size_t executed = ~0u;
+  const auto first = runner.run(plan, nullptr, &store, {}, &executed);
+  EXPECT_EQ(executed, plan.size());
+  const int runs_after_first = counter.runs->load();
+  EXPECT_EQ(runs_after_first, static_cast<int>(plan.size()));
+
+  // Persist + reload: the second run must hit the cache for every point.
+  store.save(path("cache.tsv"));
+  auto reloaded = ResultStore::load(path("cache.tsv"));
+  const auto second = runner.run(plan, nullptr, &reloaded, {}, &executed);
+  EXPECT_EQ(executed, 0u);
+  EXPECT_EQ(counter.runs->load(), runs_after_first);  // zero engine runs
+  expect_identical(plan, first, second);
+}
+
+TEST_F(ResultStoreTest, ShardedRunsMergeBitIdenticalToUnsharded) {
+  const CountingFactory counter;
+  const auto plan = small_plan(counter);
+  const SweepRunner runner(machine(), options());
+  const auto direct = runner.run(plan);
+
+  // Two shard "processes", each with its own store file.
+  for (std::size_t i = 0; i < 2; ++i) {
+    ResultStore shard_store;
+    std::size_t executed = 0;
+    runner.run(plan, nullptr, &shard_store, {i, 2}, &executed);
+    EXPECT_EQ(executed, plan.shard(i, 2).size());
+    shard_store.save(path("shard" + std::to_string(i) + ".tsv"));
+  }
+
+  // Merge (what `amresult merge` does), then assemble the full table from
+  // cache alone: zero engine runs, bit-identical to the direct run.
+  ResultStore merged = ResultStore::load(path("shard0.tsv"));
+  merged.merge(ResultStore::load(path("shard1.tsv")));
+  EXPECT_EQ(merged.size(), plan.size());
+
+  const int runs_before = counter.runs->load();
+  std::size_t executed = ~0u;
+  const auto assembled = runner.run(plan, nullptr, &merged, {}, &executed);
+  EXPECT_EQ(executed, 0u);
+  EXPECT_EQ(counter.runs->load(), runs_before);
+  expect_identical(plan, direct, assembled);
+}
+
+TEST_F(ResultStoreTest, ShardedTableContainsOnlyOwnedPoints) {
+  const CountingFactory counter;
+  const auto plan = small_plan(counter);
+  const SweepRunner runner(machine(), options());
+  ResultStore store;
+  const auto table = runner.run(plan, nullptr, &store, {0, 2});
+  EXPECT_EQ(table.size(), plan.shard(0, 2).size());
+  const auto& pt1 = plan.points()[1];  // owned by shard 1
+  EXPECT_EQ(table.get(pt1.workload, pt1.resource, pt1.threads), nullptr);
+}
+
+}  // namespace
+}  // namespace am::measure
