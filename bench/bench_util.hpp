@@ -1,16 +1,22 @@
 #pragma once
 // Shared plumbing for the per-figure bench drivers: scaled machine
-// construction, scaled interference configurations, and the synthetic-
-// benchmark experiment used by Fig. 5 and Fig. 6.
+// construction, scaled interference configurations, the synthetic-
+// benchmark experiment used by Fig. 5 and Fig. 6, and the `run_driver`
+// entry-point wrapper that makes a driver exec-able as a supervised
+// shard worker (`--worker`, see measure::SweepOrchestrator).
+#include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/heartbeat.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -19,6 +25,7 @@
 #include "interfere/bwthr_agent.hpp"
 #include "interfere/csthr_agent.hpp"
 #include "measure/experiment_plan.hpp"
+#include "measure/orchestrator.hpp"
 #include "measure/result_store.hpp"
 #include "model/ehr_model.hpp"
 #include "sim/engine.hpp"
@@ -32,6 +39,8 @@ struct BenchContext {
   std::uint64_t seed = 1;
   std::string results_dir;  // empty = no persistent result store
   ShardRange shard;         // --shard i/n; default = whole plan
+  std::string driver;       // store-file naming stem (set by run_driver)
+  bool worker = false;      // --worker: supervised shard-worker mode
 
   interfere::CSThrConfig cs_config() const {
     interfere::CSThrConfig c;
@@ -88,6 +97,60 @@ inline BenchContext make_context(const Cli& cli,
 inline measure::ResultStoreFile make_store(const BenchContext& ctx,
                                            const std::string& driver) {
   return measure::ResultStoreFile(ctx.results_dir, driver, ctx.shard);
+}
+
+/// make_store using the driver name run_driver stamped into the context.
+inline measure::ResultStoreFile make_store(const BenchContext& ctx) {
+  return make_store(ctx, ctx.driver);
+}
+
+/// Entry-point wrapper every orchestratable driver routes its main
+/// through: parses the common flags, then runs `body(cli, ctx)`. What it
+/// adds over a bare main is the worker contract of
+/// measure::SweepOrchestrator:
+///
+///   * Machine-readable exit codes — flag/plan rejections
+///     (std::invalid_argument) exit kWorkerExitUsage so the orchestrator
+///     fails fast instead of retrying a doomed command, any other
+///     exception exits kWorkerExitRunFailed (retryable); no exception
+///     escapes to std::terminate's ambiguous SIGABRT.
+///   * `--worker` mode (requires --results-dir): maintains a heartbeat
+///     file next to this shard's store for liveness supervision.
+///   * `--test-crash-marker PATH` fault injection: the first invocation
+///     to claim (atomically delete) the marker file dies via SIGKILL
+///     before any work, so orchestrator kill/retry paths are testable
+///     deterministically.
+template <typename Body>
+int run_driver(int argc, char** argv, const std::string& driver,
+               std::uint32_t default_scale, std::uint32_t nodes,
+               Body&& body) {
+  try {
+    const Cli cli(argc, argv);
+    BenchContext ctx = make_context(cli, default_scale, nodes);
+    ctx.driver = driver;
+    ctx.worker = cli.get_bool("worker", false);
+    if (ctx.worker && ctx.results_dir.empty())
+      throw std::invalid_argument(
+          "--worker requires --results-dir: a worker's only output is its "
+          "store file");
+    const auto marker = cli.get("test-crash-marker", "");
+    if (!marker.empty() && std::filesystem::remove(marker)) {
+      std::fprintf(stderr, "%s: crash marker claimed, raising SIGKILL\n",
+                   driver.c_str());
+      std::raise(SIGKILL);
+    }
+    std::optional<HeartbeatWriter> heartbeat;
+    if (ctx.worker)
+      heartbeat.emplace(
+          measure::store_path(ctx.results_dir, driver, ctx.shard) + ".hb");
+    return body(cli, ctx);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << driver << ": " << e.what() << "\n";
+    return measure::kWorkerExitUsage;
+  } catch (const std::exception& e) {
+    std::cerr << driver << ": " << e.what() << "\n";
+    return measure::kWorkerExitRunFailed;
+  }
 }
 
 inline void emit(const Table& table, const BenchContext& ctx,

@@ -12,9 +12,9 @@
 #include "measure/app_workloads.hpp"
 #include "measure/calibration.hpp"
 
-int main(int argc, char** argv) {
-  am::Cli cli(argc, argv);
-  auto ctx = am::bench::make_context(cli, /*default_scale=*/16, /*nodes=*/12);
+namespace {
+
+int fig10(const am::Cli& cli, am::bench::BenchContext& ctx) {
   const auto ranks = static_cast<std::uint32_t>(cli.get_int("ranks", 24));
   const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 3));
   const auto particles =
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
 
   // Constructed before calibration: flag-pairing errors (e.g. --shard
   // without --results-dir) must fire before minutes of calibration work.
-  auto store = am::bench::make_store(ctx, "fig10_mcb_resources");
+  auto store = am::bench::make_store(ctx);
 
   am::measure::CalibrationOptions copts;
   copts.max_threads = quick ? 2 : 5;
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   am::measure::ActiveMeasurer measurer(backend, cap_calib, bw_calib);
   am::ThreadPool pool;
   measurer.set_pool(&pool);
-  measurer.set_store(store.store());
+  measurer.set_store(store.store(), store.checkpointer());
 
   auto cfg = am::apps::McbConfig::paper(particles, ctx.scale);
   cfg.steps = steps;
@@ -96,4 +96,11 @@ int main(int argc, char** argv) {
                   "(capacities rescaled to the 20 MB machine; paper: "
                   "storage ~3.5-7 MB flat, bandwidth rising as spread out)");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return am::bench::run_driver(argc, argv, "fig10_mcb_resources",
+                               /*default_scale=*/16, /*nodes=*/12, fig10);
 }

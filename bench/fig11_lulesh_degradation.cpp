@@ -15,9 +15,9 @@ namespace {
 using am::measure::Resource;
 }  // namespace
 
-int main(int argc, char** argv) {
-  am::Cli cli(argc, argv);
-  auto ctx = am::bench::make_context(cli, /*default_scale=*/16, /*nodes=*/32);
+namespace {
+
+int fig11(const am::Cli& cli, am::bench::BenchContext& ctx) {
   const auto ranks = static_cast<std::uint32_t>(cli.get_int("ranks", 64));
   const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 2));
   const auto max_cs = static_cast<std::uint32_t>(cli.get_int("max-cs", 5));
@@ -68,14 +68,15 @@ int main(int argc, char** argv) {
     rows.push_back({id, "cube", edge});
   }
 
+  auto store = am::bench::make_store(ctx);
   am::measure::SweepRunnerOptions opts;
   opts.seed = ctx.seed;
   opts.mix_seed_per_point = false;  // all levels share the workload seed
   opts.cs = ctx.cs_config();
   opts.bw = ctx.bw_config();
+  opts.checkpoint = store.checkpointer();  // keep finished runs on a crash
   const am::measure::SweepRunner runner(ctx.machine, opts);
   am::ThreadPool pool;
-  auto store = am::bench::make_store(ctx, "fig11_lulesh_degradation");
   std::size_t executed = 0;
   const auto table =
       runner.run(plan, &pool, store.store(), ctx.shard, &executed);
@@ -89,4 +90,11 @@ int main(int argc, char** argv) {
       table, rows, "cube", "cube edge",
       "Fig. 11 bottom: Lulesh cube sweep (1 process/processor) vs ", ctx);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return am::bench::run_driver(argc, argv, "fig11_lulesh_degradation",
+                               /*default_scale=*/16, /*nodes=*/32, fig11);
 }

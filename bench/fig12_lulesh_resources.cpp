@@ -10,9 +10,9 @@
 #include "measure/app_workloads.hpp"
 #include "measure/calibration.hpp"
 
-int main(int argc, char** argv) {
-  am::Cli cli(argc, argv);
-  auto ctx = am::bench::make_context(cli, /*default_scale=*/16, /*nodes=*/32);
+namespace {
+
+int fig12(const am::Cli& cli, am::bench::BenchContext& ctx) {
   const auto ranks = static_cast<std::uint32_t>(cli.get_int("ranks", 64));
   const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 2));
   const double tolerance = cli.get_double("tolerance", 0.05);
@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
   // Constructed before calibration: flag-pairing errors (e.g. --shard
   // without --results-dir) must fire before minutes of calibration work.
-  auto store = am::bench::make_store(ctx, "fig12_lulesh_resources");
+  auto store = am::bench::make_store(ctx);
 
   am::measure::CalibrationOptions copts;
   copts.max_threads = quick ? 2 : 5;
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   am::measure::ActiveMeasurer measurer(backend, cap_calib, bw_calib);
   am::ThreadPool pool;
   measurer.set_pool(&pool);
-  measurer.set_store(store.store());
+  measurer.set_store(store.store(), store.checkpointer());
 
   // Every (edge × mapping) cell goes into one grid: both resources of a
   // cell share one baseline run and the whole plan runs over the pool.
@@ -98,4 +98,11 @@ int main(int argc, char** argv) {
                         "(capacities rescaled to the 20 MB machine)");
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return am::bench::run_driver(argc, argv, "fig12_lulesh_resources",
+                               /*default_scale=*/16, /*nodes=*/32, fig12);
 }

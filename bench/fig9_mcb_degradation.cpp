@@ -16,9 +16,9 @@ namespace {
 using am::measure::Resource;
 }  // namespace
 
-int main(int argc, char** argv) {
-  am::Cli cli(argc, argv);
-  auto ctx = am::bench::make_context(cli, /*default_scale=*/16, /*nodes=*/12);
+namespace {
+
+int fig9(const am::Cli& cli, am::bench::BenchContext& ctx) {
   const auto ranks = static_cast<std::uint32_t>(cli.get_int("ranks", 24));
   const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 3));
   const auto max_cs = static_cast<std::uint32_t>(cli.get_int("max-cs", 5));
@@ -75,14 +75,15 @@ int main(int argc, char** argv) {
     rows.push_back({id, "particles", particles});
   }
 
+  auto store = am::bench::make_store(ctx);
   am::measure::SweepRunnerOptions opts;
   opts.seed = ctx.seed;
   opts.mix_seed_per_point = false;  // all levels share the workload seed
   opts.cs = ctx.cs_config();
   opts.bw = ctx.bw_config();
+  opts.checkpoint = store.checkpointer();  // keep finished runs on a crash
   const am::measure::SweepRunner runner(ctx.machine, opts);
   am::ThreadPool pool;
-  auto store = am::bench::make_store(ctx, "fig9_mcb_degradation");
   std::size_t executed = 0;
   const auto table =
       runner.run(plan, &pool, store.store(), ctx.shard, &executed);
@@ -96,4 +97,11 @@ int main(int argc, char** argv) {
       table, rows, "particles", "particles",
       "Fig. 9 bottom: MCB particle sweep (1 process/processor) vs ", ctx);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return am::bench::run_driver(argc, argv, "fig9_mcb_degradation",
+                               /*default_scale=*/16, /*nodes=*/12, fig9);
 }

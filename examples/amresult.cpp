@@ -5,7 +5,10 @@
 // shard files into the store the unsharded driver reads, validating format
 // versions, per-record integrity and key collisions on the way. A
 // subsequent driver run with the same --results-dir then prints the figure
-// with zero engine runs.
+// with zero engine runs. (Single-machine sweeps don't need the manual
+// merge: `amsweep` supervises the shard processes and performs this merge
+// as a library call — amresult remains the tool for shards gathered from
+// different machines, and for inspection.)
 //
 //   amresult show     <store.tsv>            # records as an ASCII table
 //   amresult validate <store.tsv>...         # integrity + provenance check

@@ -1,0 +1,122 @@
+// amsweep — multi-process sweep orchestrator over the shard/store
+// machinery.
+//
+// Takes a figure driver command and runs its experiment grid as `--shards`
+// disjoint slices on `--workers` concurrent worker processes, each writing
+// its own per-shard ResultStore file. Workers are supervised (exit status
+// + heartbeat files); a crashed or wedged worker is retried on the next
+// free slot up to `--retries` extra attempts. Workers checkpoint their
+// store after every completed engine run, so a retry re-runs only the
+// points the dead attempt had in flight. When
+// every shard lands, the shard stores are merged (the same library path as
+// `amresult merge`) into the canonical store the unsharded driver reads,
+// and a run manifest (host fingerprint, per-attempt wall-clock/exit
+// status/heartbeats, retry log) is written next to it.
+//
+//   amsweep --results-dir DIR [--workers N] [--shards M] [--retries K]
+//           [--driver-name NAME] [--poll-seconds S] [--stall-timeout S]
+//           -- <figure driver> [driver flags...]
+//
+//   amsweep --results-dir results --workers 4
+//       -- bench/fig9_mcb_degradation --quick       (one shell line)
+//
+// Everything after `--` is the worker command; amsweep appends
+// `--results-dir DIR --shard i/M --worker` per shard. `--driver-name`
+// (default: the worker binary's basename) must match the store-file stem
+// the driver uses. Exit status: 0 = merged store written; 1 = sweep
+// failed (see the manifest for which shards are missing); 2 = usage.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "measure/orchestrator.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: amsweep --results-dir DIR [--workers N] [--shards M]\n"
+      "               [--retries K] [--driver-name NAME] [--poll-seconds S]\n"
+      "               [--stall-timeout S] -- <figure driver> [flags...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Everything after the first bare "--" is the worker command, untouched
+  // by flag parsing (driver flags must reach the driver verbatim).
+  std::vector<std::string> own{argv[0]};
+  std::vector<std::string> worker;
+  bool split = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!split && arg == "--") {
+      split = true;
+      continue;
+    }
+    (split ? worker : own).push_back(std::move(arg));
+  }
+  if (!split || worker.empty()) return usage();
+
+  std::vector<char*> own_argv;
+  own_argv.reserve(own.size());
+  for (auto& s : own) own_argv.push_back(s.data());
+
+  try {
+    const am::Cli cli(static_cast<int>(own_argv.size()), own_argv.data());
+    am::measure::OrchestratorOptions opts;
+    opts.worker_command = worker;
+    opts.results_dir = cli.get("results-dir", "");
+    if (opts.results_dir.empty()) {
+      std::fprintf(stderr, "amsweep: --results-dir is required\n");
+      return usage();
+    }
+    // Validate signs before the size_t casts: a negative typo must be a
+    // usage error, not SIZE_MAX workers or an effectively infinite retry
+    // budget.
+    const auto positive = [&cli](const char* name, std::int64_t def) {
+      const auto v = cli.get_int(name, def);
+      if (v <= 0)
+        throw std::invalid_argument(std::string("--") + name +
+                                    " must be positive");
+      return static_cast<std::size_t>(v);
+    };
+    const auto non_negative = [&cli](const char* name, double def) {
+      const auto v = cli.get_double(name, def);
+      if (v < 0.0)
+        throw std::invalid_argument(std::string("--") + name +
+                                    " must be >= 0");
+      return v;
+    };
+    opts.workers = positive("workers", 2);
+    opts.shards =
+        positive("shards", static_cast<std::int64_t>(opts.workers));
+    const auto retries = cli.get_int("retries", 1);
+    if (retries < 0)
+      throw std::invalid_argument("--retries must be >= 0");
+    opts.retries = static_cast<std::size_t>(retries);
+    opts.poll_seconds = non_negative("poll-seconds", 0.05);
+    opts.stall_timeout_seconds = non_negative("stall-timeout", 0.0);
+    opts.driver = cli.get(
+        "driver-name", std::filesystem::path(worker[0]).stem().string());
+
+    am::measure::SweepOrchestrator orchestrator(std::move(opts));
+    const auto report = orchestrator.run(std::cout);
+    if (!report.success) return 1;
+    std::cout << "print the figure from cache with:\n  ";
+    for (const auto& a : worker) std::cout << a << " ";
+    std::cout << "--results-dir " << cli.get("results-dir", "") << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "amsweep: %s\n", e.what());
+    return 2;
+  }
+}

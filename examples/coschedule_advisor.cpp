@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   am::ThreadPool pool;
   measurer.set_pool(&pool);
 
-  measurer.set_store(store.store());
+  measurer.set_store(store.store(), store.checkpointer());
 
   // Profile two applications in isolation: one light (25% of L3), one
   // heavy (60% of L3). Both profiles go into one experiment grid, so each

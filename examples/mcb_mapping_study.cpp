@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   am::measure::SweepRunnerOptions opts;
   opts.mix_seed_per_point = false;  // baseline and interfered share a seed
   opts.cs = cs;
+  opts.checkpoint = store.checkpointer();  // keep finished runs on a crash
   const am::measure::SweepRunner runner(machine, opts);
   am::ThreadPool pool;
 

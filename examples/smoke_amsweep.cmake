@@ -1,0 +1,74 @@
+# End-to-end exercise of the amsweep orchestrator (ctest smoke entry):
+# run a scaled-down fig9 grid serially, then the same grid through amsweep
+# with 2 worker processes and one injected worker kill (claimed crash
+# marker -> SIGKILL -> retried on the next free slot), and require
+#   1. the orchestrated merged store to be bit-identical to the serial one,
+#   2. an unsharded driver re-run against the merged store to be fully
+#      cached (zero engine runs),
+#   3. a second amsweep over the same store to execute zero engine runs.
+# Driven by -D vars:
+#   AMSWEEP — path to the amsweep binary
+#   FIG9    — path to the fig9_mcb_degradation binary
+#   WORKDIR — scratch directory (wiped on entry)
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+set(fig9_args --scale 64 --ranks 8 --steps 1 --quick --max-cs 1 --max-bw 1)
+
+function(run_checked out_var)
+  execute_process(COMMAND ${ARGN}
+    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# 1. The ground truth: the same grid run serially into its own store.
+run_checked(direct "${FIG9}" ${fig9_args} --results-dir "${WORKDIR}/direct")
+
+# 2. The orchestrated run, with exactly one worker dying mid-shard: the
+#    first worker to claim (delete) the marker raises SIGKILL before doing
+#    any work, and amsweep must retry that shard.
+file(WRITE "${WORKDIR}/crash.marker" "")
+run_checked(orchestrated "${AMSWEEP}"
+  --results-dir "${WORKDIR}/orch" --workers 2 --shards 2 --retries 1 --
+  "${FIG9}" ${fig9_args} --test-crash-marker "${WORKDIR}/crash.marker")
+if(EXISTS "${WORKDIR}/crash.marker")
+  message(FATAL_ERROR "no worker claimed the crash marker:\n${orchestrated}")
+endif()
+if(NOT orchestrated MATCHES "signal 9")
+  message(FATAL_ERROR
+    "expected a SIGKILLed worker attempt in the log:\n${orchestrated}")
+endif()
+if(NOT EXISTS "${WORKDIR}/orch/fig9_mcb_degradation.manifest.tsv")
+  message(FATAL_ERROR "amsweep did not write a run manifest")
+endif()
+
+# 3. Kill + retry must not change a single byte of the merged store.
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  "${WORKDIR}/direct/fig9_mcb_degradation.tsv"
+  "${WORKDIR}/orch/fig9_mcb_degradation.tsv"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "orchestrated store differs from the direct serial run's store")
+endif()
+
+# 4. The merged store must make an unsharded driver re-run fully cached.
+run_checked(cached "${FIG9}" ${fig9_args} --results-dir "${WORKDIR}/orch")
+if(NOT cached MATCHES "\\(0 executed")
+  message(FATAL_ERROR
+    "expected a fully cached re-run against the merged store, got:\n"
+    "${cached}")
+endif()
+
+# 5. And a repeated amsweep over the same store runs zero engine runs
+#    (every shard worker finds its slice already persisted).
+run_checked(resweep "${AMSWEEP}"
+  --results-dir "${WORKDIR}/orch" --workers 2 --shards 2 --retries 1 --
+  "${FIG9}" ${fig9_args})
+if(NOT resweep MATCHES "0 engine runs total")
+  message(FATAL_ERROR
+    "expected a fully cached amsweep re-run, got:\n${resweep}")
+endif()

@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -39,13 +40,36 @@ std::string Cli::get(const std::string& name, const std::string& def) const {
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   const auto s = get(name, "");
   if (s.empty()) return def;
-  return std::strtoll(s.c_str(), nullptr, 10);
+  // Full-string validation: "abc", "12abc" and out-of-range values must
+  // throw, not quietly become 0 — a typo'd --reps must never run a 0-rep
+  // sweep. (A value-less "--reps" parses as "true" and lands here too.)
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0')
+    throw std::invalid_argument("--" + name + ": expected an integer, got '" +
+                                s + "'");
+  if (errno == ERANGE)
+    throw std::invalid_argument("--" + name + ": integer out of range: '" +
+                                s + "'");
+  return v;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   const auto s = get(name, "");
   if (s.empty()) return def;
-  return std::strtod(s.c_str(), nullptr);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0')
+    throw std::invalid_argument("--" + name + ": expected a number, got '" +
+                                s + "'");
+  // Only overflow is an error: ERANGE also fires for underflow to a
+  // subnormal (e.g. 1e-320), which strtod still parses to a usable value.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL))
+    throw std::invalid_argument("--" + name + ": number out of range: '" + s +
+                                "'");
+  return v;
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {

@@ -17,6 +17,11 @@ class Cli {
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& def) const;
+
+  /// Numeric accessors validate the whole value (endptr + errno) and throw
+  /// std::invalid_argument on anything unparseable, trailing junk, or
+  /// out-of-range input — a typo'd flag must fail loudly, never silently
+  /// become 0. An absent flag returns `def`.
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;

@@ -1,0 +1,67 @@
+#include "common/heartbeat.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+namespace am {
+
+std::optional<Heartbeat> read_heartbeat(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  Heartbeat hb;
+  char tab = '\0';
+  if (!(in >> hb.pid >> std::noskipws >> tab >> std::skipws >> hb.beats) ||
+      tab != '\t')
+    return std::nullopt;
+  return hb;
+}
+
+std::optional<double> heartbeat_age_seconds(const std::string& path) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return std::nullopt;
+  const auto age = std::filesystem::file_time_type::clock::now() - mtime;
+  return std::chrono::duration<double>(age).count();
+}
+
+HeartbeatWriter::HeartbeatWriter(std::string path, double interval_seconds)
+    : path_(std::move(path)), interval_(interval_seconds) {
+  write_beat();  // visible before the constructor returns
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, std::chrono::duration<double>(interval_),
+                         [this] { return stopped_; }))
+      write_beat();
+  });
+}
+
+HeartbeatWriter::~HeartbeatWriter() { stop(); }
+
+void HeartbeatWriter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_ && !thread_.joinable()) return;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // best effort
+}
+
+void HeartbeatWriter::write_beat() {
+  // Write-then-rename so a reader never sees a torn beat.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;  // unwritable directory: silently beatless
+    out << static_cast<std::uint64_t>(::getpid()) << '\t' << ++beats_ << '\n';
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+}
+
+}  // namespace am

@@ -1,0 +1,65 @@
+#pragma once
+// Liveness files for supervised worker processes. A worker constructs a
+// HeartbeatWriter on a path inside a directory its supervisor watches; a
+// background thread rewrites the file (pid + monotonic beat counter) at a
+// fixed interval, and removes it again on clean shutdown. The supervisor
+// (measure::SweepOrchestrator) reads the file with read_heartbeat and uses
+// its mtime to distinguish a working child from a stopped or wedged one —
+// waitpid only reports *exits*, a SIGSTOPped or D-state child reports
+// nothing forever. A leftover heartbeat file after a child is gone means
+// it died without cleanup (crash or kill).
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace am {
+
+/// One parsed heartbeat file: "pid <tab> beats".
+struct Heartbeat {
+  std::uint64_t pid = 0;
+  std::uint64_t beats = 0;  // rewrites so far; monotonic per writer
+};
+
+/// The last heartbeat written to `path`, or nullopt when the file is
+/// absent or malformed (a torn read mid-rewrite counts as absent).
+std::optional<Heartbeat> read_heartbeat(const std::string& path);
+
+/// Seconds since `path` was last rewritten, or nullopt when absent.
+/// Staleness, not content, is the liveness signal.
+std::optional<double> heartbeat_age_seconds(const std::string& path);
+
+class HeartbeatWriter {
+ public:
+  /// Writes the first beat immediately (so a supervisor sees the file as
+  /// soon as spawn completes), then every `interval_seconds`.
+  explicit HeartbeatWriter(std::string path, double interval_seconds = 0.25);
+
+  /// stop()s; the file is gone after destruction unless the process dies
+  /// first — which is exactly the signal a leftover file carries.
+  ~HeartbeatWriter();
+
+  HeartbeatWriter(const HeartbeatWriter&) = delete;
+  HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
+
+  /// Joins the writer thread and removes the file. Idempotent.
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_beat();
+
+  std::string path_;
+  double interval_;
+  std::uint64_t beats_ = 0;
+  bool stopped_ = false;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace am

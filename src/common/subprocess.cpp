@@ -1,0 +1,166 @@
+#include "common/subprocess.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <spawn.h>
+#include <string.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+extern char** environ;
+
+namespace am {
+
+namespace {
+
+ExitStatus decode(int wstatus) {
+  ExitStatus st;
+  if (WIFSIGNALED(wstatus)) {
+    st.signaled = true;
+    st.signal = WTERMSIG(wstatus);
+  } else {
+    st.code = WEXITSTATUS(wstatus);
+  }
+  return st;
+}
+
+/// RAII for posix_spawn_file_actions_t (the error paths below would
+/// otherwise each need a manual destroy).
+struct FileActions {
+  posix_spawn_file_actions_t actions;
+  FileActions() { posix_spawn_file_actions_init(&actions); }
+  ~FileActions() { posix_spawn_file_actions_destroy(&actions); }
+};
+
+struct SpawnAttr {
+  posix_spawnattr_t attr;
+  SpawnAttr() { posix_spawnattr_init(&attr); }
+  ~SpawnAttr() { posix_spawnattr_destroy(&attr); }
+};
+
+}  // namespace
+
+std::string ExitStatus::describe() const {
+  if (signaled) {
+    const char* name = strsignal(signal);
+    return "signal " + std::to_string(signal) +
+           (name ? std::string(" (") + name + ")" : "");
+  }
+  return "exit " + std::to_string(code);
+}
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
+                             const Options& opts) {
+  if (argv.empty() || argv[0].empty())
+    throw std::runtime_error("Subprocess: empty argv");
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  FileActions fa;
+  constexpr mode_t kLogMode = 0644;
+  if (!opts.stdout_path.empty()) {
+    if (const int rc = posix_spawn_file_actions_addopen(
+            &fa.actions, 1, opts.stdout_path.c_str(),
+            O_WRONLY | O_CREAT | O_APPEND, kLogMode))
+      throw std::runtime_error("Subprocess: cannot redirect stdout to " +
+                               opts.stdout_path + ": " + strerror(rc));
+    if (opts.stderr_path.empty())
+      posix_spawn_file_actions_adddup2(&fa.actions, 1, 2);
+  }
+  if (!opts.stderr_path.empty()) {
+    if (const int rc = posix_spawn_file_actions_addopen(
+            &fa.actions, 2, opts.stderr_path.c_str(),
+            O_WRONLY | O_CREAT | O_APPEND, kLogMode))
+      throw std::runtime_error("Subprocess: cannot redirect stderr to " +
+                               opts.stderr_path + ": " + strerror(rc));
+  }
+
+  SpawnAttr sa;
+  if (opts.new_process_group) {
+    posix_spawnattr_setflags(&sa.attr, POSIX_SPAWN_SETPGROUP);
+    posix_spawnattr_setpgroup(&sa.attr, 0);  // own group, pgid == child pid
+  }
+
+  Subprocess child;
+  pid_t pid = -1;
+  const int rc = posix_spawnp(&pid, argv[0].c_str(), &fa.actions, &sa.attr,
+                              cargv.data(), environ);
+  if (rc != 0)
+    throw std::runtime_error("Subprocess: cannot spawn '" + argv[0] +
+                             "': " + strerror(rc));
+  child.pid_ = pid;
+  child.own_group_ = opts.new_process_group;
+  return child;
+}
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+  return spawn(argv, Options{});
+}
+
+Subprocess::~Subprocess() {
+  if (pid_ < 0 || status_) return;
+  ::kill(own_group_ ? -pid_ : pid_, SIGKILL);
+  int wstatus = 0;
+  while (waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      own_group_(std::exchange(other.own_group_, false)),
+      status_(std::exchange(other.status_, std::nullopt)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    // Dispose of any current child exactly like the destructor would.
+    Subprocess discard(std::move(*this));
+    pid_ = std::exchange(other.pid_, -1);
+    own_group_ = std::exchange(other.own_group_, false);
+    status_ = std::exchange(other.status_, std::nullopt);
+  }
+  return *this;
+}
+
+bool Subprocess::running() {
+  if (pid_ < 0 || status_) return false;
+  int wstatus = 0;
+  const pid_t r = waitpid(pid_, &wstatus, WNOHANG);
+  if (r == 0) return true;
+  if (r == pid_) {
+    status_ = decode(wstatus);
+    return false;
+  }
+  // waitpid error (ECHILD after an external reap): treat as exited
+  // abnormally rather than spinning forever on a child we cannot observe.
+  status_ = ExitStatus{.code = 0, .signaled = true, .signal = SIGKILL};
+  return false;
+}
+
+ExitStatus Subprocess::wait() {
+  if (status_) return *status_;
+  if (pid_ < 0) throw std::runtime_error("Subprocess: wait() without child");
+  int wstatus = 0;
+  pid_t r;
+  while ((r = waitpid(pid_, &wstatus, 0)) < 0 && errno == EINTR) {
+  }
+  if (r == pid_)
+    status_ = decode(wstatus);
+  else
+    status_ = ExitStatus{.code = 0, .signaled = true, .signal = SIGKILL};
+  return *status_;
+}
+
+void Subprocess::kill(int sig) {
+  if (pid_ < 0 || status_) return;
+  ::kill(own_group_ ? -pid_ : pid_, sig);
+}
+
+void Subprocess::kill() { kill(SIGKILL); }
+
+}  // namespace am

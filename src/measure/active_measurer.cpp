@@ -96,6 +96,7 @@ SweepRunner ActiveMeasurer::grid_runner(
   opts.mix_seed_per_point = false;  // sweeps stay comparable level-to-level
   opts.cs = cs;
   opts.bw = bw;
+  opts.checkpoint = checkpoint_;
   return SweepRunner(backend_->machine(), opts);
 }
 

@@ -5,6 +5,7 @@
 // for prediction on less-capable memory systems and (b) bounds on the
 // amount of resource each application process actively uses (§IV).
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -72,7 +73,14 @@ class ActiveMeasurer {
   /// Result cache consulted and filled by sweep_grid from now on (nullptr
   /// = always recompute). Persisting the store between invocations makes
   /// re-running an unchanged grid free; the caller owns save/load.
-  void set_store(ResultStore* store) { store_ = store; }
+  /// `checkpoint` (e.g. ResultStoreFile::checkpointer) is invoked after
+  /// every freshly executed point, so a killed process keeps its finished
+  /// runs on disk.
+  void set_store(ResultStore* store,
+                 std::function<void(const ResultStore&)> checkpoint = {}) {
+    store_ = store;
+    checkpoint_ = std::move(checkpoint);
+  }
 
   /// Engine runs actually executed by the most recent sweep_grid /
   /// sweep_grid_shard call (cache hits excluded), and the number of grid
@@ -131,6 +139,7 @@ class ActiveMeasurer {
   BandwidthCalibration bandwidth_;
   ThreadPool* pool_ = nullptr;
   ResultStore* store_ = nullptr;
+  std::function<void(const ResultStore&)> checkpoint_;
   std::size_t last_executed_ = 0;
   std::size_t last_planned_ = 0;
 };

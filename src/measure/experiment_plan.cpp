@@ -1,6 +1,7 @@
 #include "measure/experiment_plan.hpp"
 
 #include <exception>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -163,6 +164,11 @@ ResultTable SweepRunner::run(const ExperimentPlan& plan, ThreadPool* pool,
     todo.push_back(s);
   }
 
+  // One host probe for the batch; every fresh record carries it.
+  const std::string host = store != nullptr && !todo.empty()
+                               ? interfere::HostIdentity::detect().fingerprint()
+                               : std::string();
+  std::mutex store_mutex;
   std::vector<std::exception_ptr> errors(todo.size());
   auto run_one = [&](std::size_t t) {
     try {
@@ -175,6 +181,16 @@ ResultTable SweepRunner::run(const ExperimentPlan& plan, ThreadPool* pool,
               : InterferenceSpec::bandwidth(pt.threads, opts_.bw);
       SimBackend backend(machine_, seed_for(i));
       results[todo[t]] = backend.run(w.factory, spec, opts_.max_cycles);
+      if (store != nullptr) {
+        // Record (and optionally checkpoint) each point as it completes,
+        // not after the barrier: a process killed mid-plan keeps every
+        // finished run, so a supervised retry re-runs only what's missing.
+        // Completion order varies under a pool, but records are keyed and
+        // the store file is canonically sorted — determinism is untouched.
+        const std::lock_guard<std::mutex> lock(store_mutex);
+        store->put(key_for(plan, owned[t]), results[todo[t]], host);
+        if (opts_.checkpoint) opts_.checkpoint(*store);
+      }
     } catch (...) {
       // Pool tasks must not throw; surface the failure after the barrier.
       errors[t] = std::current_exception();
@@ -190,13 +206,6 @@ ResultTable SweepRunner::run(const ExperimentPlan& plan, ThreadPool* pool,
     if (error) std::rethrow_exception(error);
 
   if (executed != nullptr) *executed = todo.size();
-  if (store != nullptr && !todo.empty()) {
-    // One host probe for the batch; every fresh record carries it.
-    const std::string host =
-        interfere::HostIdentity::detect().fingerprint();
-    for (const std::size_t t : todo)
-      store->put(key_for(plan, owned[t]), results[t], host);
-  }
 
   ResultTable table;
   for (const auto& w : plan.workloads())

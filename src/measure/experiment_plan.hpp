@@ -23,6 +23,7 @@
 //     and re-running an unchanged grid costs zero engine runs. Cached and
 //     recomputed tables are bit-identical.
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -138,6 +139,13 @@ struct SweepRunnerOptions {
   /// Chunk size for the pool's parallel_for; simulator runs are coarse, so
   /// per-point submission (grain 1) is the right default.
   std::size_t grain = 1;
+  /// Invoked after each freshly executed point is recorded into the store
+  /// (cache-aware run only; serialized — never concurrently). Persisting
+  /// the store here (ResultStoreFile::checkpointer) bounds what a killed
+  /// process loses to the runs still in flight, which is what makes a
+  /// supervisor's retries cheap. Null = results reach disk only via the
+  /// caller's final save.
+  std::function<void(const ResultStore&)> checkpoint;
 };
 
 class SweepRunner {

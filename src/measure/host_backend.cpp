@@ -11,6 +11,17 @@ HostRunResult HostBackend::run(const std::function<void()>& workload,
   using Clock = std::chrono::steady_clock;
 
   std::vector<std::unique_ptr<interfere::HostInterferenceThread>> threads;
+  // Stop-on-unwind guard: if workload() (or anything below) throws, the
+  // interference threads must still be stopped and joined — leaked
+  // bandwidth/cache-thrashing threads would corrupt every subsequent
+  // measurement in this process. stop() is idempotent, so the explicit
+  // stop on the success path below is safe to repeat here.
+  struct StopGuard {
+    decltype(threads)& t;
+    ~StopGuard() {
+      for (auto& thread : t) thread->stop();
+    }
+  } stop_guard{threads};
   threads.reserve(opts.count);
   for (std::uint32_t i = 0; i < opts.count; ++i) {
     if (opts.resource == Resource::kCacheStorage)

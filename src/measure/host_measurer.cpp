@@ -4,6 +4,24 @@
 
 namespace am::measure {
 
+std::optional<PerfValues> HostMeasurer::mean_counters(
+    const std::vector<std::optional<PerfValues>>& samples) {
+  PerfValues sums;
+  std::uint64_t n = 0;
+  for (const auto& s : samples) {
+    if (!s) continue;  // perf can come and go per run; average what exists
+    ++n;
+    sums.cycles += s->cycles;
+    sums.instructions += s->instructions;
+    sums.cache_references += s->cache_references;
+    sums.cache_misses += s->cache_misses;
+  }
+  if (n == 0) return std::nullopt;
+  const auto mean = [n](std::uint64_t sum) { return (sum + n / 2) / n; };
+  return PerfValues{mean(sums.cycles), mean(sums.instructions),
+                    mean(sums.cache_references), mean(sums.cache_misses)};
+}
+
 int HostSweepResult::degradation_onset(double tolerance) const {
   if (points.empty()) return -1;
   const double limit = points.front().seconds_mean * (1.0 + tolerance);
@@ -27,12 +45,17 @@ HostSweepResult HostMeasurer::sweep(const std::function<void()>& workload,
     RunningStats times;
     HostSweepPoint point;
     point.threads = k;
+    std::vector<std::optional<PerfValues>> counter_samples;
     for (std::uint32_t rep = 0;
          rep < std::max<std::uint32_t>(1, options.repetitions); ++rep) {
       const auto run = backend_.run(workload, run_opts);
       times.add(run.seconds);
-      point.counters = run.counters;
+      counter_samples.push_back(run.counters);
     }
+    // Counters are averaged across repetitions exactly like the timings —
+    // reporting only the last repetition's values would pair a mean time
+    // with a single noisy counter sample.
+    point.counters = mean_counters(counter_samples);
     point.seconds_mean = times.mean();
     point.seconds_stddev = times.stddev();
     result.points.push_back(point);

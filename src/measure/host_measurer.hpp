@@ -15,7 +15,10 @@ struct HostSweepPoint {
   std::uint32_t threads = 0;
   double seconds_mean = 0.0;
   double seconds_stddev = 0.0;
-  std::optional<PerfValues> counters;  // from the last repetition
+  /// Per-event means over the repetitions that produced counters (rounded
+  /// to the nearest count), matching how seconds_mean summarizes timing;
+  /// nullopt when no repetition had counters (perf unavailable).
+  std::optional<PerfValues> counters;
 };
 
 struct HostSweepOptions {
@@ -42,6 +45,12 @@ class HostMeasurer {
   /// Runs `workload` under 0..max_threads interference threads.
   HostSweepResult sweep(const std::function<void()>& workload,
                         const HostSweepOptions& options);
+
+  /// Per-event rounded means over the samples that have counters; nullopt
+  /// when none do. Exposed for testing — sweep() uses it to summarize
+  /// repetitions.
+  static std::optional<PerfValues> mean_counters(
+      const std::vector<std::optional<PerfValues>>& samples);
 
  private:
   HostBackend backend_;

@@ -1,0 +1,331 @@
+#include "measure/orchestrator.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/heartbeat.hpp"
+#include "interfere/host_identity.hpp"
+
+namespace am::measure {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", s);
+  return buf;
+}
+
+/// One live worker process and the bookkeeping its manifest line needs.
+struct Running {
+  Subprocess proc;
+  std::size_t shard = 0;
+  std::size_t attempt = 0;
+  Clock::time_point start;
+  std::uint64_t last_beats = 0;
+  bool stalled = false;
+};
+
+void atomic_write(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out || !(out << content) || !out.flush())
+      throw std::runtime_error("orchestrator: failed to write " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace
+
+SweepOrchestrator::SweepOrchestrator(OrchestratorOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.worker_command.empty())
+    throw std::invalid_argument("orchestrator: empty worker command");
+  if (opts_.results_dir.empty())
+    throw std::invalid_argument("orchestrator: results_dir is required");
+  if (opts_.driver.empty())
+    throw std::invalid_argument("orchestrator: driver name is required");
+  if (opts_.shards == 0 || opts_.workers == 0)
+    throw std::invalid_argument(
+        "orchestrator: shards and workers must be positive");
+}
+
+std::string SweepOrchestrator::manifest_path(const std::string& results_dir,
+                                             const std::string& driver) {
+  return (std::filesystem::path(results_dir) / (driver + ".manifest.tsv"))
+      .string();
+}
+
+std::size_t SweepOrchestrator::read_meta_executed(
+    const std::string& store_path) {
+  std::ifstream in(store_path + ".meta");
+  if (!in) return SIZE_MAX;
+  std::string key;
+  std::size_t value = 0;
+  while (in >> key >> value)
+    if (key == "executed") return value;
+  return SIZE_MAX;
+}
+
+std::vector<std::string> SweepOrchestrator::shard_argv(
+    std::size_t shard) const {
+  auto argv = opts_.worker_command;
+  if (opts_.append_worker_flags) {
+    argv.push_back("--results-dir");
+    argv.push_back(opts_.results_dir);
+    argv.push_back("--shard");
+    argv.push_back(std::to_string(shard) + "/" +
+                   std::to_string(opts_.shards));
+    argv.push_back("--worker");
+  }
+  return argv;
+}
+
+OrchestratorReport SweepOrchestrator::run(std::ostream& log) {
+  const auto t0 = Clock::now();
+  OrchestratorReport report;
+  try {
+    std::filesystem::create_directories(opts_.results_dir);
+  } catch (const std::exception& e) {
+    report.error = std::string("cannot create results dir: ") + e.what();
+    log << report.error << "\n";
+    report.wall_seconds = seconds_since(t0);
+    return report;  // no manifest: the directory it lives in is the problem
+  }
+
+  const auto shard_store = [&](std::size_t i) {
+    return store_path(opts_.results_dir, opts_.driver,
+                      {i, opts_.shards});
+  };
+  const auto shard_label = [&](std::size_t i) {
+    return "shard " + std::to_string(i) + "/" + std::to_string(opts_.shards);
+  };
+
+  log << "amsweep: " << opts_.driver << ", " << opts_.shards
+      << " shard(s) on " << opts_.workers << " worker slot(s), retries "
+      << opts_.retries << "\n";
+
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < opts_.shards; ++i) pending.push_back(i);
+  std::vector<std::size_t> attempts_used(opts_.shards, 0);
+  std::vector<Running> running;
+  bool abort = false;  // usage failure: stop launching, fail the sweep
+
+  while (!pending.empty() || !running.empty()) {
+    // Fill free worker slots.
+    while (!abort && running.size() < opts_.workers && !pending.empty()) {
+      const std::size_t shard = pending.front();
+      pending.pop_front();
+      Running r;
+      r.shard = shard;
+      r.attempt = attempts_used[shard]++;
+      r.start = Clock::now();
+      const auto store = shard_store(shard);
+      std::error_code ec;
+      std::filesystem::remove(store + ".hb", ec);  // stale from a crash
+      try {
+        Subprocess::Options spawn_opts;
+        spawn_opts.stdout_path = store + ".log";  // stderr shares it
+        // Own process group: killing a stalled worker must also take out
+        // any grandchildren (wrapper-script workers), or an orphan would
+        // keep writing this shard's store while the retry runs.
+        spawn_opts.new_process_group = true;
+        r.proc = Subprocess::spawn(shard_argv(shard), spawn_opts);
+      } catch (const std::exception& e) {
+        // Unspawnable command: no retry can fix a missing binary.
+        report.error = e.what();
+        log << shard_label(shard) << ": " << e.what() << "\n";
+        abort = true;
+        break;
+      }
+      log << shard_label(shard) << ": attempt " << r.attempt
+          << " launched (pid " << r.proc.pid() << ")\n";
+      running.push_back(std::move(r));
+    }
+    if (abort && running.empty()) break;
+
+    // Poll the fleet: heartbeats first (liveness), then exits.
+    bool progressed = false;
+    for (auto it = running.begin(); it != running.end();) {
+      auto& r = *it;
+      const auto store = shard_store(r.shard);
+      if (const auto hb = read_heartbeat(store + ".hb"))
+        r.last_beats = hb->beats;
+      if (!r.stalled && opts_.stall_timeout_seconds > 0.0) {
+        const auto age = heartbeat_age_seconds(store + ".hb");
+        if (age && *age > opts_.stall_timeout_seconds) {
+          log << shard_label(r.shard) << ": heartbeat stale ("
+              << fmt_seconds(*age) << " s) — killing pid " << r.proc.pid()
+              << "\n";
+          r.stalled = true;
+          r.proc.kill();
+        }
+      }
+      if (r.proc.running()) {
+        ++it;
+        continue;
+      }
+      progressed = true;
+
+      ShardAttempt attempt;
+      attempt.shard = r.shard;
+      attempt.attempt = r.attempt;
+      attempt.status = *r.proc.status();
+      attempt.wall_seconds = seconds_since(r.start);
+      attempt.heartbeats = r.last_beats;
+      attempt.stalled = r.stalled;
+
+      bool ok = attempt.status.success();
+      std::string why = attempt.status.describe();
+      if (ok) {
+        // A successful worker must have left a loadable shard store; a
+        // missing or corrupt one is a failure no exit code admitted to.
+        try {
+          ResultStore::load(store);
+          attempt.executed = read_meta_executed(store);
+          if (attempt.executed != SIZE_MAX)
+            report.engine_runs += attempt.executed;
+        } catch (const std::exception& e) {
+          ok = false;
+          why = std::string("store invalid after exit 0: ") + e.what();
+        }
+      }
+
+      if (ok) {
+        log << shard_label(r.shard) << ": done in "
+            << fmt_seconds(attempt.wall_seconds) << " s ("
+            << (attempt.executed == SIZE_MAX
+                    ? std::string("?")
+                    : std::to_string(attempt.executed))
+            << " engine runs, " << attempt.heartbeats << " heartbeats)\n";
+      } else if (!attempt.status.signaled &&
+                 attempt.status.code == kWorkerExitUsage) {
+        // The worker rejected its flags; every shard gets the same flags.
+        report.error = shard_label(r.shard) + " rejected its flags (" + why +
+                       ") — see " + store + ".log";
+        log << report.error << "\n";
+        abort = true;
+      } else if (attempts_used[r.shard] <= opts_.retries) {
+        log << shard_label(r.shard) << ": " << why << " in "
+            << fmt_seconds(attempt.wall_seconds) << " s — retrying (attempt "
+            << attempts_used[r.shard] << "/" << opts_.retries << ")\n";
+        pending.push_back(r.shard);
+      } else {
+        log << shard_label(r.shard) << ": " << why
+            << " — retry budget exhausted\n";
+        report.missing_shards.push_back(r.shard);
+      }
+      report.attempts.push_back(std::move(attempt));
+      it = running.erase(it);
+    }
+    if (abort) {
+      // Kill whatever is still running; their shards join the missing set.
+      for (auto& r : running) {
+        r.proc.kill();
+        r.proc.wait();
+        log << shard_label(r.shard) << ": killed after abort\n";
+      }
+      running.clear();
+      break;
+    }
+    if (!progressed && (!running.empty() || !pending.empty()))
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(opts_.poll_seconds));
+  }
+
+  if (abort) {
+    // Every shard without a successful attempt is missing.
+    std::vector<bool> done(opts_.shards, false);
+    for (const auto& a : report.attempts)
+      if (a.status.success()) done[a.shard] = true;
+    report.missing_shards.clear();
+    for (std::size_t i = 0; i < opts_.shards; ++i)
+      if (!done[i]) report.missing_shards.push_back(i);
+  }
+
+  report.merged_path = store_path(opts_.results_dir, opts_.driver);
+  if (report.missing_shards.empty() && !abort) {
+    try {
+      ResultStore merged;
+      for (std::size_t i = 0; i < opts_.shards; ++i)
+        merged.merge(ResultStore::load(shard_store(i)));
+      merged.save(report.merged_path);
+      ResultStore::load(report.merged_path);  // validate what we wrote
+      report.merged_records = merged.size();
+      report.success = true;
+      log << "merged " << opts_.shards << " shard store(s) -> "
+          << report.merged_path << " (" << report.merged_records
+          << " records, " << report.engine_runs << " engine runs total)\n";
+    } catch (const std::exception& e) {
+      report.error = std::string("merge failed: ") + e.what();
+      log << report.error << "\n";
+    }
+  } else {
+    log << "sweep failed; missing shard(s):";
+    for (const auto s : report.missing_shards) log << " " << s;
+    log << "\n";
+  }
+
+  report.wall_seconds = seconds_since(t0);
+  try {
+    write_manifest(report);
+    log << "manifest: " << manifest_path(opts_.results_dir, opts_.driver)
+        << "\n";
+  } catch (const std::exception& e) {
+    // A full disk after a successful merge must not turn into a thrown
+    // "usage" failure: the report (and merged store) still stand.
+    if (report.error.empty())
+      report.error = std::string("manifest write failed: ") + e.what();
+    log << "manifest write failed: " << e.what() << "\n";
+  }
+  return report;
+}
+
+void SweepOrchestrator::write_manifest(
+    const OrchestratorReport& report) const {
+  std::ostringstream out;
+  out << "#am-sweep-manifest v1\n";
+  out << "host\t" << interfere::HostIdentity::detect().fingerprint() << '\n';
+  out << "driver\t" << opts_.driver << '\n';
+  std::string cmd;
+  for (const auto& a : opts_.worker_command)
+    cmd += (cmd.empty() ? "" : " ") + a;
+  out << "command\t" << cmd << '\n';
+  out << "shards\t" << opts_.shards << '\n';
+  out << "workers\t" << opts_.workers << '\n';
+  out << "retries\t" << opts_.retries << '\n';
+  out << "status\t" << (report.success ? "ok" : "failed") << '\n';
+  if (!report.error.empty()) out << "error\t" << report.error << '\n';
+  out << "merged\t" << report.merged_path << '\n';
+  out << "records\t" << report.merged_records << '\n';
+  out << "engine_runs\t" << report.engine_runs << '\n';
+  out << "wall_seconds\t" << fmt_seconds(report.wall_seconds) << '\n';
+  for (const auto s : report.missing_shards) out << "missing\t" << s << '\n';
+  // attempt <shard> <attempt> <status> <wall_s> <heartbeats> <executed>
+  for (const auto& a : report.attempts)
+    out << "attempt\t" << a.shard << '\t' << a.attempt << '\t'
+        << a.status.describe() << (a.stalled ? " [stalled]" : "") << '\t'
+        << fmt_seconds(a.wall_seconds) << '\t' << a.heartbeats << '\t'
+        << (a.executed == SIZE_MAX ? std::string("-")
+                                   : std::to_string(a.executed))
+        << '\n';
+  atomic_write(manifest_path(opts_.results_dir, opts_.driver), out.str());
+}
+
+}  // namespace am::measure

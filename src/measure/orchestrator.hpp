@@ -1,0 +1,127 @@
+#pragma once
+// Multi-process sweep orchestration: run one ExperimentPlan as n shard
+// worker processes, supervise them, retry failures, and merge the shard
+// stores into the canonical file — the supervised version of the manual
+// "launch every --shard i/n by hand, then amresult merge" recipe, and the
+// stepping stone to the ROADMAP's socket-fed sweep daemon. Guarantees:
+//
+//   * Same numbers as a serial run: shards are the disjoint round-robin
+//     slices of ExperimentPlan::shard with original plan indices (and so
+//     original per-point seeds), and the merge is ResultStore::merge — the
+//     merged store is bit-identical to the store an unsharded run writes.
+//   * Crash containment: a worker that exits non-zero or dies on a signal
+//     is retried (fresh process, bounded budget). Workers checkpoint
+//     their store after every completed engine run
+//     (SweepRunnerOptions::checkpoint, atomic saves), so a retry finds
+//     everything the dead attempt finished and re-runs only the points
+//     that were in flight. A worker rejecting its flags
+//     (kWorkerExitUsage) aborts the whole sweep instead — every other
+//     shard would reject them too.
+//   * No silent holes: a shard that exhausts its retry budget fails the
+//     sweep, and the run manifest names it; the manifest also records the
+//     host fingerprint, per-attempt wall-clock/exit status/heartbeats,
+//     and the retry log, whether the sweep succeeded or not.
+//   * Liveness supervision: workers in --worker mode maintain a heartbeat
+//     file next to their store; a heartbeat gone stale (stopped/wedged
+//     process — invisible to waitpid) gets the worker killed and counted
+//     as a failed attempt.
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/subprocess.hpp"
+#include "measure/result_store.hpp"
+
+namespace am::measure {
+
+/// The exit-code contract between the orchestrator and its workers
+/// (bench drivers in --worker mode). Anything else — including a signal —
+/// is a retryable failure.
+inline constexpr int kWorkerExitOk = 0;
+/// Bad flags / malformed plan spec: retrying cannot help, and every other
+/// shard would fail identically, so the orchestrator aborts the sweep.
+inline constexpr int kWorkerExitUsage = 2;
+/// Runtime failure (exception out of the sweep); retryable.
+inline constexpr int kWorkerExitRunFailed = 3;
+
+struct OrchestratorOptions {
+  /// The worker command: a figure driver plus its figure flags. The
+  /// orchestrator appends `--results-dir <dir> --shard i/n --worker` to it
+  /// for each shard (disable via append_worker_flags for custom workers).
+  std::vector<std::string> worker_command;
+  std::string results_dir;
+  /// Store-file naming stem, matching what the driver passes to its
+  /// ResultStoreFile — for the bench drivers, the executable name.
+  std::string driver;
+  std::size_t shards = 2;
+  /// Worker processes running concurrently; a failed shard is retried on
+  /// whichever slot frees up next.
+  std::size_t workers = 2;
+  /// Extra attempts per shard beyond the first.
+  std::size_t retries = 1;
+  double poll_seconds = 0.05;
+  /// Kill a worker whose heartbeat file is older than this (0 = disabled).
+  /// Only supervises workers that emit heartbeats (--worker drivers).
+  double stall_timeout_seconds = 0.0;
+  bool append_worker_flags = true;
+};
+
+/// One worker process's lifetime, as recorded in the manifest.
+struct ShardAttempt {
+  std::size_t shard = 0;
+  std::size_t attempt = 0;  // 0 = first try
+  ExitStatus status;
+  double wall_seconds = 0.0;
+  /// Last beat counter observed from the shard's heartbeat file (0 when
+  /// the worker emitted none, e.g. non---worker test commands).
+  std::uint64_t heartbeats = 0;
+  /// Engine runs the worker reported via its store's .meta sidecar;
+  /// SIZE_MAX when no sidecar appeared (crashed before finishing).
+  std::size_t executed = SIZE_MAX;
+  /// True when the orchestrator killed this worker for a stale heartbeat.
+  bool stalled = false;
+};
+
+struct OrchestratorReport {
+  bool success = false;
+  std::vector<ShardAttempt> attempts;  // chronological retry log
+  std::vector<std::size_t> missing_shards;  // exhausted their retry budget
+  std::string merged_path;
+  std::size_t merged_records = 0;
+  /// Total engine runs across successful shard attempts — 0 for a fully
+  /// cached re-run of an already-merged sweep.
+  std::size_t engine_runs = 0;
+  double wall_seconds = 0.0;
+  std::string error;  // first fatal error (usage abort, merge conflict)
+};
+
+class SweepOrchestrator {
+ public:
+  /// Throws std::invalid_argument on an unusable configuration (empty
+  /// command/results_dir/driver, zero shards or workers).
+  explicit SweepOrchestrator(OrchestratorOptions opts);
+
+  /// Runs the sweep to completion, streaming progress lines to `log`.
+  /// Failures are reported, not thrown: the report (and the manifest on
+  /// disk) always describes what happened.
+  OrchestratorReport run(std::ostream& log);
+
+  /// <results_dir>/<driver>.manifest.tsv — where run() records the
+  /// outcome.
+  static std::string manifest_path(const std::string& results_dir,
+                                   const std::string& driver);
+
+  /// Reads the "executed" count from a store's .meta sidecar (written by
+  /// ResultStoreFile::finish); SIZE_MAX when absent or malformed.
+  static std::size_t read_meta_executed(const std::string& store_path);
+
+ private:
+  std::vector<std::string> shard_argv(std::size_t shard) const;
+  void write_manifest(const OrchestratorReport& report) const;
+
+  OrchestratorOptions opts_;
+};
+
+}  // namespace am::measure

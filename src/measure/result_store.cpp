@@ -364,9 +364,19 @@ void ResultStore::save(const std::string& path) const {
         << '\t' << num(r.total_mem_bandwidth) << '\t'
         << r.interference_threads << '\t' << (r.timed_out ? 1 : 0) << '\n';
   }
-  std::ofstream file(path, std::ios::trunc);
-  if (!file || !(file << out.str()) || !file.flush())
-    throw std::runtime_error("ResultStore: failed to write " + path);
+  // Write-then-rename: a worker killed mid-save must not leave a torn
+  // store file for the next (cached or merging) reader to choke on.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file || !(file << out.str()) || !file.flush())
+      throw std::runtime_error("ResultStore: failed to write " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    throw std::runtime_error("ResultStore: failed to rename " + tmp +
+                             " to " + path + ": " + ec.message());
 }
 
 std::vector<const ResultRecord*> ResultStore::records() const {
@@ -399,10 +409,23 @@ ResultStoreFile::ResultStoreFile(const std::string& results_dir,
   store_ = ResultStore::load_or_empty(path_);
 }
 
+std::function<void(const ResultStore&)> ResultStoreFile::checkpointer()
+    const {
+  if (path_.empty()) return nullptr;
+  return [path = path_](const ResultStore& store) { store.save(path); };
+}
+
 bool ResultStoreFile::finish(std::size_t executed, std::size_t planned,
                              std::ostream& out) {
   if (path_.empty()) return false;
   store_.save(path_);
+  // Machine-readable sidecar for supervisors (SweepOrchestrator): how much
+  // of this invocation's slice actually hit the engine. Best effort — a
+  // missing sidecar only degrades the manifest, never the results.
+  std::ofstream meta(path_ + ".meta", std::ios::trunc);
+  if (meta)
+    meta << "executed " << executed << "\nplanned " << planned
+         << "\nrecords " << store_.size() << "\n";
   // `reused` counts this invocation's cache hits only — the store may
   // also hold records of other machines/grids, which were neither.
   const std::size_t reused = planned > executed ? planned - executed : 0;

@@ -30,6 +30,7 @@
 //            l3_miss_rate  app_bw  total_bw  interference_threads
 //            timed_out              (tab-separated, one record per line)
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -147,8 +148,10 @@ class ResultStore {
   /// of them is stale or mislabeled).
   void merge(const ResultStore& other);
 
-  /// Writes the canonical (fingerprint-sorted) file. Throws
-  /// std::runtime_error on I/O failure.
+  /// Writes the canonical (fingerprint-sorted) file, atomically (write to
+  /// `path`.tmp, then rename): a process killed mid-save leaves the old
+  /// file intact, never a torn one. Throws std::runtime_error on I/O
+  /// failure.
   void save(const std::string& path) const;
 
   std::size_t size() const { return records_.size(); }
@@ -183,13 +186,21 @@ class ResultStoreFile {
   ResultStore* store() { return path_.empty() ? nullptr : &store_; }
   const std::string& path() const { return path_; }
 
+  /// A SweepRunnerOptions::checkpoint callback persisting this file after
+  /// every executed point (saves are atomic, so a kill mid-save keeps the
+  /// previous checkpoint). Null when the store is disabled — assignable to
+  /// the option unconditionally, like store().
+  std::function<void(const ResultStore&)> checkpointer() const;
+
   /// Persists the store and reports the run's cache economy on `out`:
   /// `planned` is the number of grid points this invocation was
   /// responsible for and `executed` how many actually ran (the difference
-  /// is the cache hits). With a sharded range also prints the amresult
-  /// merge handoff and returns true — the caller should skip figure
-  /// emission, its table being partial by construction. No-op (false)
-  /// when disabled.
+  /// is the cache hits). Also drops a `<path>.meta` sidecar with the same
+  /// counts so supervisors (measure::SweepOrchestrator) can read them
+  /// without parsing human output. With a sharded range also prints the
+  /// amresult merge handoff and returns true — the caller should skip
+  /// figure emission, its table being partial by construction. No-op
+  /// (false) when disabled.
   bool finish(std::size_t executed, std::size_t planned, std::ostream& out);
 
  private:

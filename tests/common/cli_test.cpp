@@ -63,6 +63,31 @@ TEST(Cli, DoubleParsing) {
   EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 3.25);
 }
 
+TEST(Cli, IntRejectsMalformedValues) {
+  // Silent 0 here once meant a typo'd --reps ran a 0-rep sweep.
+  for (const char* bad :
+       {"--reps=abc", "--reps=12abc", "--reps=1.5", "--reps=0x10",
+        "--reps=99999999999999999999999999"})
+    EXPECT_THROW(make({bad}).get_int("reps", 3), std::invalid_argument)
+        << bad;
+  // A value-less "--reps" parses as boolean "true" — also not an integer.
+  EXPECT_THROW(make({"--reps"}).get_int("reps", 3), std::invalid_argument);
+  // Valid forms still parse, including signs.
+  EXPECT_EQ(make({"--reps=-7"}).get_int("reps", 3), -7);
+  EXPECT_EQ(make({"--reps=+7"}).get_int("reps", 3), 7);
+}
+
+TEST(Cli, DoubleRejectsMalformedValues) {
+  for (const char* bad :
+       {"--x=abc", "--x=1.5garbage", "--x=1e999", "--x=.", "--x"})
+    EXPECT_THROW(make({bad}).get_double("x", 2.5), std::invalid_argument)
+        << bad;
+  EXPECT_DOUBLE_EQ(make({"--x=-1e3"}).get_double("x", 0.0), -1000.0);
+  EXPECT_DOUBLE_EQ(make({"--x=2e-3"}).get_double("x", 0.0), 0.002);
+  // Underflow to a subnormal sets ERANGE but is a legitimate value.
+  EXPECT_GT(make({"--x=1e-320"}).get_double("x", 0.0), 0.0);
+}
+
 TEST(Cli, ShardParsing) {
   auto cli = make({"--shard=2/8"});
   const auto shard = cli.get_shard("shard");

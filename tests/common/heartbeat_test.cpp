@@ -1,0 +1,74 @@
+#include "common/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+namespace am {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / ("am_heartbeat_test_" + name))
+      .string();
+}
+
+TEST(Heartbeat, WriterBeatsAndCleansUp) {
+  const auto path = temp_path("beats.hb");
+  fs::remove(path);
+  {
+    HeartbeatWriter writer(path, /*interval_seconds=*/0.01);
+    // The first beat is synchronous: visible before the constructor
+    // returns, so a supervisor polling right after spawn sees the file.
+    const auto first = read_heartbeat(path);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->pid, static_cast<std::uint64_t>(::getpid()));
+    EXPECT_GE(first->beats, 1u);
+
+    // The counter advances on its own.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    std::uint64_t beats = first->beats;
+    while (beats <= first->beats &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      if (const auto hb = read_heartbeat(path)) beats = hb->beats;
+    }
+    EXPECT_GT(beats, first->beats);
+    EXPECT_TRUE(heartbeat_age_seconds(path).has_value());
+  }
+  // Clean shutdown removes the file — a leftover heartbeat means a crash.
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(read_heartbeat(path).has_value());
+  EXPECT_FALSE(heartbeat_age_seconds(path).has_value());
+}
+
+TEST(Heartbeat, StopIsIdempotent) {
+  const auto path = temp_path("stop.hb");
+  HeartbeatWriter writer(path, 0.01);
+  writer.stop();
+  writer.stop();  // second stop must be a no-op, not a crash/deadlock
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(Heartbeat, RejectsMalformedFiles) {
+  const auto path = temp_path("malformed.hb");
+  std::ofstream(path) << "not a heartbeat\n";
+  EXPECT_FALSE(read_heartbeat(path).has_value());
+  std::ofstream(path, std::ios::trunc) << "123 456\n";  // space, not tab
+  EXPECT_FALSE(read_heartbeat(path).has_value());
+  std::ofstream(path, std::ios::trunc) << "123\t456\n";
+  const auto hb = read_heartbeat(path);
+  ASSERT_TRUE(hb.has_value());
+  EXPECT_EQ(hb->pid, 123u);
+  EXPECT_EQ(hb->beats, 456u);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace am

@@ -3,10 +3,26 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace am::measure {
 namespace {
+
+/// Threads of this process per /proc/self/status — how we observe that no
+/// interference thread outlives a run.
+int process_thread_count() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind("Threads:", 0) == 0)
+      return std::stoi(line.substr(sizeof("Threads:") - 1));
+  return -1;
+}
 
 HostRunOptions quick(Resource r, std::uint32_t count) {
   HostRunOptions o;
@@ -54,6 +70,33 @@ TEST(HostBackend, RunsUnderBandwidthInterference) {
                                   quick(Resource::kBandwidth, 1));
   EXPECT_GT(result.seconds, 0.0);
   EXPECT_GT(result.interference_iterations, 0u);
+}
+
+TEST(HostBackend, ThrowingWorkloadStopsInterferenceThreads) {
+  HostBackend backend;
+  const int before = process_thread_count();
+  ASSERT_GT(before, 0);
+  EXPECT_THROW(
+      backend.run([] { throw std::runtime_error("workload failed"); },
+                  quick(Resource::kCacheStorage, 2)),
+      std::runtime_error);
+  // The RAII guard joins the interference threads during unwinding, so
+  // the count is back immediately; poll briefly anyway for kernel lag.
+  int after = -1;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  do {
+    after = process_thread_count();
+    if (after <= before) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  } while (std::chrono::steady_clock::now() < deadline);
+  EXPECT_LE(after, before);
+
+  // And the backend stays usable: leaked thrashers would have skewed
+  // any subsequent measurement.
+  const auto result =
+      backend.run([] {}, quick(Resource::kBandwidth, 1));
+  EXPECT_GT(result.seconds, 0.0);
 }
 
 TEST(HostBackend, PerfCountersOptional) {

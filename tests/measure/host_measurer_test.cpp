@@ -44,6 +44,33 @@ TEST(HostMeasurer, SingleRepetitionHasZeroStddev) {
   EXPECT_DOUBLE_EQ(result.points[0].seconds_stddev, 0.0);
 }
 
+TEST(HostMeasurer, MeanCountersAveragesAcrossRepetitions) {
+  // The sweep must not report only the last repetition's counters next to
+  // a mean time; means are taken over the reps that produced counters.
+  const PerfValues a{100, 200, 50, 10};
+  const PerfValues b{200, 400, 70, 20};
+  const PerfValues c{330, 630, 99, 33};
+  const auto mean = HostMeasurer::mean_counters({a, b, c});
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_EQ(mean->cycles, 210u);            // (100+200+330)/3
+  EXPECT_EQ(mean->instructions, 410u);      // (200+400+630)/3
+  EXPECT_EQ(mean->cache_references, 73u);   // 219/3
+  EXPECT_EQ(mean->cache_misses, 21u);       // 63/3
+}
+
+TEST(HostMeasurer, MeanCountersSkipsMissingSamplesAndRounds) {
+  const PerfValues a{10, 0, 0, 0};
+  const PerfValues b{13, 0, 0, 0};
+  // nullopt reps (perf denied for one run) are excluded from the mean.
+  const auto mean = HostMeasurer::mean_counters({a, std::nullopt, b});
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_EQ(mean->cycles, 12u);  // 23/2 rounded to nearest
+
+  EXPECT_FALSE(HostMeasurer::mean_counters({}).has_value());
+  EXPECT_FALSE(
+      HostMeasurer::mean_counters({std::nullopt, std::nullopt}).has_value());
+}
+
 TEST(HostSweepResult, DegradationOnsetDetection) {
   HostSweepResult r;
   r.points = {{0, 1.00, 0.0, {}}, {1, 1.02, 0.0, {}}, {2, 1.20, 0.0, {}}};

@@ -1,0 +1,211 @@
+// SweepOrchestrator failure-path coverage with /bin/sh stand-in workers:
+// real engine-running workers are exercised end to end by the
+// smoke.amsweep ctest entry; here the workers are tiny scripts so the
+// supervision logic (retry on kill, retry-budget exhaustion + manifest,
+// usage fail-fast, merge) is testable in milliseconds. The pre-created
+// shard store files play the part of a worker's persisted slice.
+#include "measure/orchestrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace am::measure {
+namespace {
+
+namespace fs = std::filesystem;
+
+ScenarioKey key(const std::string& workload, std::uint32_t threads) {
+  return ScenarioKey::make("machine-fp", workload, Resource::kCacheStorage,
+                           threads, "cs:b4096:n4:w1000", 7, 1'000'000);
+}
+
+SimRunResult result(double seconds) {
+  SimRunResult r;
+  r.seconds = seconds;
+  r.cycles = 1000;
+  return r;
+}
+
+class OrchestratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("am_orchestrator_test_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+  /// Pre-creates shard i/n's store file holding one record, as if a worker
+  /// had already persisted its slice.
+  void seed_shard_store(std::size_t i, std::size_t n) {
+    ResultStore store;
+    store.put(key("workload-" + std::to_string(i), 1), result(0.1 + i),
+              "host-fp");
+    store.save(store_path(dir(), "drv", {i, n}));
+  }
+
+  /// Options for sh-script workers: the script body receives the appended
+  /// shard flags as positional parameters and may ignore them.
+  OrchestratorOptions opts(const std::string& script, std::size_t shards,
+                           std::size_t retries) {
+    OrchestratorOptions o;
+    o.worker_command = {"/bin/sh", "-c", script, "worker"};
+    o.results_dir = dir();
+    o.driver = "drv";
+    o.shards = shards;
+    o.workers = 2;
+    o.retries = retries;
+    o.poll_seconds = 0.005;
+    return o;
+  }
+
+  std::string manifest() const {
+    std::ifstream in(SweepOrchestrator::manifest_path(dir(), "drv"));
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(OrchestratorTest, RejectsUnusableConfigurations) {
+  OrchestratorOptions o = opts("exit 0", 1, 0);
+  o.worker_command.clear();
+  EXPECT_THROW(SweepOrchestrator{o}, std::invalid_argument);
+  o = opts("exit 0", 1, 0);
+  o.results_dir.clear();
+  EXPECT_THROW(SweepOrchestrator{o}, std::invalid_argument);
+  o = opts("exit 0", 1, 0);
+  o.shards = 0;
+  EXPECT_THROW(SweepOrchestrator{o}, std::invalid_argument);
+  o = opts("exit 0", 1, 0);
+  o.workers = 0;
+  EXPECT_THROW(SweepOrchestrator{o}, std::invalid_argument);
+}
+
+TEST_F(OrchestratorTest, MergesShardStoresIntoCanonicalFile) {
+  seed_shard_store(0, 2);
+  seed_shard_store(1, 2);
+  SweepOrchestrator orch(opts("exit 0", 2, 0));
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_TRUE(report.success) << log.str();
+  EXPECT_TRUE(report.missing_shards.empty());
+  EXPECT_EQ(report.merged_records, 2u);
+  ASSERT_EQ(report.attempts.size(), 2u);
+
+  const auto merged = ResultStore::load(report.merged_path);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_TRUE(merged.has(key("workload-0", 1)));
+  EXPECT_TRUE(merged.has(key("workload-1", 1)));
+  EXPECT_NE(manifest().find("status\tok"), std::string::npos);
+}
+
+TEST_F(OrchestratorTest, WorkerKilledMidShardIsRetried) {
+  seed_shard_store(0, 1);
+  // First attempt claims the marker and dies as if SIGKILLed mid-shard;
+  // the retry finds no marker and succeeds.
+  const auto marker = dir() + "/crash.marker";
+  std::ofstream(marker) << "";
+  SweepOrchestrator orch(
+      opts("if rm " + marker + " 2>/dev/null; then kill -9 $$; fi; exit 0",
+           1, 1));
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_TRUE(report.success) << log.str();
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_TRUE(report.attempts[0].status.signaled);
+  EXPECT_EQ(report.attempts[0].status.signal, 9);
+  EXPECT_TRUE(report.attempts[1].status.success());
+  EXPECT_EQ(report.attempts[1].attempt, 1u);
+  EXPECT_NE(manifest().find("signal 9"), std::string::npos);
+}
+
+TEST_F(OrchestratorTest, ExhaustedRetryBudgetFailsAndNamesTheShard) {
+  seed_shard_store(0, 2);  // shard 0 fine; shard 1's worker always dies
+  // The appended flags arrive as positional params: $1=--results-dir
+  // $2=<dir> $3=--shard $4=i/n $5=--worker.
+  SweepOrchestrator orch(opts(
+      "case \"$4\" in 0/2) exit 0 ;; *) exit 3 ;; esac", 2, 1));
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_FALSE(report.success) << log.str();
+  ASSERT_EQ(report.missing_shards.size(), 1u);
+  EXPECT_EQ(report.missing_shards[0], 1u);
+  // 1 success for shard 0 + (1 + retries) failures for shard 1.
+  EXPECT_EQ(report.attempts.size(), 3u);
+  const auto m = manifest();
+  EXPECT_NE(m.find("status\tfailed"), std::string::npos);
+  EXPECT_NE(m.find("missing\t1"), std::string::npos);
+  // No merged store may appear for an incomplete sweep.
+  EXPECT_FALSE(fs::exists(store_path(dir(), "drv")));
+}
+
+TEST_F(OrchestratorTest, UsageExitFailsFastWithoutRetry) {
+  SweepOrchestrator orch(opts("exit 2", 2, 5));
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_FALSE(report.success);
+  EXPECT_FALSE(report.error.empty());
+  // Fail-fast: nowhere near (1 + retries) * shards attempts.
+  EXPECT_LE(report.attempts.size(), 2u);
+  EXPECT_EQ(report.missing_shards.size(), 2u);
+}
+
+TEST_F(OrchestratorTest, SuccessfulExitWithoutStoreFileIsAFailure) {
+  // Workers must persist their slice; exit 0 with no store file is a lie
+  // the orchestrator catches (and retries — here until the budget ends).
+  SweepOrchestrator orch(opts("exit 0", 1, 1));
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_FALSE(report.success) << log.str();
+  EXPECT_EQ(report.attempts.size(), 2u);
+  EXPECT_EQ(report.missing_shards.size(), 1u);
+}
+
+TEST_F(OrchestratorTest, ReadsExecutedCountFromMetaSidecar) {
+  seed_shard_store(0, 1);
+  const auto store = store_path(dir(), "drv", {0, 1});
+  std::ofstream(store + ".meta") << "executed 5\nplanned 9\nrecords 1\n";
+  SweepOrchestrator orch(opts("exit 0", 1, 0));
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_TRUE(report.success) << log.str();
+  ASSERT_EQ(report.attempts.size(), 1u);
+  EXPECT_EQ(report.attempts[0].executed, 5u);
+  EXPECT_EQ(report.engine_runs, 5u);
+  EXPECT_NE(manifest().find("engine_runs\t5"), std::string::npos);
+}
+
+TEST_F(OrchestratorTest, StaleHeartbeatGetsWorkerKilled) {
+  seed_shard_store(0, 1);
+  const auto hb = store_path(dir(), "drv", {0, 1}) + ".hb";
+  // The worker fakes a heartbeat that then never advances; the
+  // orchestrator must kill it long before the 30 s sleep finishes.
+  auto o = opts("printf '1\\t1\\n' > " + hb + "; sleep 30", 1, 0);
+  o.stall_timeout_seconds = 0.2;
+  SweepOrchestrator orch(o);
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_FALSE(report.success) << log.str();
+  ASSERT_EQ(report.attempts.size(), 1u);
+  EXPECT_TRUE(report.attempts[0].stalled);
+  EXPECT_TRUE(report.attempts[0].status.signaled);
+  EXPECT_LT(report.attempts[0].wall_seconds, 10.0);
+  EXPECT_NE(manifest().find("[stalled]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace am::measure
