@@ -6,8 +6,8 @@
 // its own per-shard ResultStore file. Workers are supervised (exit status
 // + heartbeat files); a crashed or wedged worker is retried on the next
 // free slot up to `--retries` extra attempts. Workers checkpoint their
-// store after every completed engine run, so a retry re-runs only the
-// points the dead attempt had in flight. When
+// store as points complete (throttled to ~1 save/s), so a retry re-runs
+// only the points since the dead attempt's last checkpoint. When
 // every shard lands, the shard stores are merged (the same library path as
 // `amresult merge`) into the canonical store the unsharded driver reads,
 // and a run manifest (host fingerprint, per-attempt wall-clock/exit
@@ -25,6 +25,7 @@
 // (default: the worker binary's basename) must match the store-file stem
 // the driver uses. Exit status: 0 = merged store written; 1 = sweep
 // failed (see the manifest for which shards are missing); 2 = usage.
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -91,9 +92,12 @@ int main(int argc, char** argv) {
     };
     const auto non_negative = [&cli](const char* name, double def) {
       const auto v = cli.get_double(name, def);
-      if (v < 0.0)
+      // strtod happily parses "nan" and "inf"; neither may reach
+      // sleep_for (NaN: unspecified, inf: sleeps forever) or silently
+      // disable stall supervision.
+      if (!std::isfinite(v) || v < 0.0)
         throw std::invalid_argument(std::string("--") + name +
-                                    " must be >= 0");
+                                    " must be a finite value >= 0");
       return v;
     };
     opts.workers = positive("workers", 2);

@@ -72,3 +72,34 @@ if(NOT resweep MATCHES "0 engine runs total")
   message(FATAL_ERROR
     "expected a fully cached amsweep re-run, got:\n${resweep}")
 endif()
+
+# 6. A partially cached resume — a retry's view of the world: one shard's
+#    checkpoint present, the rest still to run — must record every fresh
+#    result under its own plan point's key, so completing the store leaves
+#    it byte-identical to the direct serial run's.
+file(MAKE_DIRECTORY "${WORKDIR}/partial")
+configure_file("${WORKDIR}/orch/fig9_mcb_degradation.shard0of2.tsv"
+  "${WORKDIR}/partial/fig9_mcb_degradation.tsv" COPYONLY)
+run_checked(partial "${FIG9}" ${fig9_args} --results-dir "${WORKDIR}/partial")
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  "${WORKDIR}/direct/fig9_mcb_degradation.tsv"
+  "${WORKDIR}/partial/fig9_mcb_degradation.tsv"
+  RESULT_VARIABLE pdiff)
+if(NOT pdiff EQUAL 0)
+  message(FATAL_ERROR
+    "partially cached resume corrupted the store (fresh records keyed by "
+    "the wrong plan point?)")
+endif()
+
+# 7. Malformed numeric flags are usage errors (exit 2) — strtod happily
+#    parses "nan" and "inf", but neither may reach sleep_for or disable
+#    stall supervision.
+foreach(bad nan inf)
+  execute_process(COMMAND "${AMSWEEP}" --results-dir "${WORKDIR}/orch"
+    --poll-seconds ${bad} -- "${FIG9}" ${fig9_args}
+    OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE bad_code)
+  if(NOT bad_code EQUAL 2)
+    message(FATAL_ERROR
+      "expected --poll-seconds ${bad} to exit 2 (usage), got ${bad_code}")
+  endif()
+endforeach()

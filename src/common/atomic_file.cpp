@@ -1,0 +1,37 @@
+#include "common/atomic_file.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace am {
+
+bool try_atomic_write_file(const std::string& path,
+                           const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out || !(out << content) || !out.flush()) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+void atomic_write_file(const std::string& path, const std::string& content,
+                       const std::string& what) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out || !(out << content) || !out.flush())
+      throw std::runtime_error(what + ": failed to write " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    throw std::runtime_error(what + ": failed to rename " + tmp + " to " +
+                             path + ": " + ec.message());
+}
+
+}  // namespace am

@@ -1,0 +1,23 @@
+#pragma once
+// Atomic whole-file writes: write to <path>.tmp, then rename over <path>.
+// A reader — or a process killed mid-write — sees either the previous
+// complete file or the new complete one, never a torn mix. This is the
+// property every on-disk handoff in the codebase (result stores,
+// heartbeats, run manifests) relies on; keep the idiom in one audited
+// place instead of re-rolling it per call site.
+#include <string>
+
+namespace am {
+
+/// Best-effort variant: false on any I/O failure (unwritable directory,
+/// failed rename) instead of throwing — for writers whose absence is
+/// itself the signal (e.g. heartbeats).
+bool try_atomic_write_file(const std::string& path,
+                           const std::string& content);
+
+/// Throwing variant: std::runtime_error prefixed with `what` (the calling
+/// subsystem) naming the failing step and path.
+void atomic_write_file(const std::string& path, const std::string& content,
+                       const std::string& what);
+
+}  // namespace am

@@ -5,6 +5,9 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+
+#include "common/atomic_file.hpp"
 
 namespace am {
 
@@ -53,15 +56,11 @@ void HeartbeatWriter::stop() {
 }
 
 void HeartbeatWriter::write_beat() {
-  // Write-then-rename so a reader never sees a torn beat.
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return;  // unwritable directory: silently beatless
-    out << static_cast<std::uint64_t>(::getpid()) << '\t' << ++beats_ << '\n';
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path_, ec);
+  std::ostringstream out;
+  out << static_cast<std::uint64_t>(::getpid()) << '\t' << ++beats_ << '\n';
+  // Atomic so a reader never sees a torn beat; a failed write (unwritable
+  // directory) leaves us silently beatless — absence is the signal.
+  try_atomic_write_file(path_, out.str());
 }
 
 }  // namespace am

@@ -71,7 +71,10 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
       throw std::runtime_error("Subprocess: cannot redirect stdout to " +
                                opts.stdout_path + ": " + strerror(rc));
     if (opts.stderr_path.empty())
-      posix_spawn_file_actions_adddup2(&fa.actions, 1, 2);
+      if (const int rc = posix_spawn_file_actions_adddup2(&fa.actions, 1, 2))
+        throw std::runtime_error(
+            std::string("Subprocess: cannot redirect stderr to stdout: ") +
+            strerror(rc));
   }
   if (!opts.stderr_path.empty()) {
     if (const int rc = posix_spawn_file_actions_addopen(
@@ -83,8 +86,16 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
 
   SpawnAttr sa;
   if (opts.new_process_group) {
-    posix_spawnattr_setflags(&sa.attr, POSIX_SPAWN_SETPGROUP);
-    posix_spawnattr_setpgroup(&sa.attr, 0);  // own group, pgid == child pid
+    // Checked: a silent failure here would leave the child in our group,
+    // and the group-kill an orchestrator relies on would miss grandchildren.
+    if (const int rc =
+            posix_spawnattr_setflags(&sa.attr, POSIX_SPAWN_SETPGROUP))
+      throw std::runtime_error(
+          std::string("Subprocess: cannot set spawn flags: ") + strerror(rc));
+    if (const int rc = posix_spawnattr_setpgroup(&sa.attr, 0))
+      throw std::runtime_error(
+          std::string("Subprocess: cannot set process group: ") +
+          strerror(rc));  // 0 = own group, pgid == child pid
   }
 
   Subprocess child;

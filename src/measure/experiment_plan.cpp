@@ -184,11 +184,13 @@ ResultTable SweepRunner::run(const ExperimentPlan& plan, ThreadPool* pool,
       if (store != nullptr) {
         // Record (and optionally checkpoint) each point as it completes,
         // not after the barrier: a process killed mid-plan keeps every
-        // finished run, so a supervised retry re-runs only what's missing.
+        // checkpointed run (all finished ones, minus whatever a throttled
+        // checkpointer skipped), so a supervised retry re-runs only
+        // what's missing from the last save.
         // Completion order varies under a pool, but records are keyed and
         // the store file is canonically sorted — determinism is untouched.
         const std::lock_guard<std::mutex> lock(store_mutex);
-        store->put(key_for(plan, owned[t]), results[todo[t]], host);
+        store->put(key_for(plan, i), results[todo[t]], host);
         if (opts_.checkpoint) opts_.checkpoint(*store);
       }
     } catch (...) {

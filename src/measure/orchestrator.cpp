@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/atomic_file.hpp"
 #include "common/heartbeat.hpp"
 #include "interfere/host_identity.hpp"
 
@@ -40,16 +41,6 @@ struct Running {
   std::uint64_t last_beats = 0;
   bool stalled = false;
 };
-
-void atomic_write(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out || !(out << content) || !out.flush())
-      throw std::runtime_error("orchestrator: failed to write " + tmp);
-  }
-  std::filesystem::rename(tmp, path);
-}
 
 }  // namespace
 
@@ -124,6 +115,9 @@ OrchestratorReport SweepOrchestrator::run(std::ostream& log) {
   std::deque<std::size_t> pending;
   for (std::size_t i = 0; i < opts_.shards; ++i) pending.push_back(i);
   std::vector<std::size_t> attempts_used(opts_.shards, 0);
+  // Each successful shard's store, kept from its exit-time validation
+  // load so the final merge doesn't parse every file a second time.
+  std::vector<ResultStore> shard_stores(opts_.shards);
   std::vector<Running> running;
   bool abort = false;  // usage failure: stop launching, fail the sweep
 
@@ -169,10 +163,24 @@ OrchestratorReport SweepOrchestrator::run(std::ostream& log) {
         r.last_beats = hb->beats;
       if (!r.stalled && opts_.stall_timeout_seconds > 0.0) {
         const auto age = heartbeat_age_seconds(store + ".hb");
-        if (age && *age > opts_.stall_timeout_seconds) {
-          log << shard_label(r.shard) << ": heartbeat stale ("
-              << fmt_seconds(*age) << " s) — killing pid " << r.proc.pid()
-              << "\n";
+        // A worker can wedge before its first beat (e.g. hang during
+        // startup), leaving no file to age. Commands we append --worker to
+        // write a beat as soon as they start, so for those, time since
+        // spawn is the equivalent staleness signal — but only while no
+        // beat was ever observed: a cleanly finishing worker removes its
+        // heartbeat file just before exit, and that gap must not read as
+        // a stall.
+        const bool never_beat = !age && opts_.append_worker_flags &&
+                                r.last_beats == 0 &&
+                                seconds_since(r.start) >
+                                    opts_.stall_timeout_seconds;
+        if ((age && *age > opts_.stall_timeout_seconds) || never_beat) {
+          log << shard_label(r.shard)
+              << (age ? ": heartbeat stale (" + fmt_seconds(*age) + " s)"
+                      : ": no heartbeat " +
+                            fmt_seconds(seconds_since(r.start)) +
+                            " s after spawn")
+              << " — killing pid " << r.proc.pid() << "\n";
           r.stalled = true;
           r.proc.kill();
         }
@@ -197,7 +205,7 @@ OrchestratorReport SweepOrchestrator::run(std::ostream& log) {
         // A successful worker must have left a loadable shard store; a
         // missing or corrupt one is a failure no exit code admitted to.
         try {
-          ResultStore::load(store);
+          shard_stores[r.shard] = ResultStore::load(store);
           attempt.executed = read_meta_executed(store);
           if (attempt.executed != SIZE_MAX)
             report.engine_runs += attempt.executed;
@@ -262,9 +270,13 @@ OrchestratorReport SweepOrchestrator::run(std::ostream& log) {
   report.merged_path = store_path(opts_.results_dir, opts_.driver);
   if (report.missing_shards.empty() && !abort) {
     try {
-      ResultStore merged;
+      // Seed from the existing canonical file: it may hold records from
+      // earlier runs (other scales, other grids), and "stale records sit
+      // idle in the store" is a documented contract — completing a sweep
+      // must extend the cache, never replace it.
+      ResultStore merged = ResultStore::load_or_empty(report.merged_path);
       for (std::size_t i = 0; i < opts_.shards; ++i)
-        merged.merge(ResultStore::load(shard_store(i)));
+        merged.merge(shard_stores[i]);
       merged.save(report.merged_path);
       ResultStore::load(report.merged_path);  // validate what we wrote
       report.merged_records = merged.size();
@@ -325,7 +337,8 @@ void SweepOrchestrator::write_manifest(
         << (a.executed == SIZE_MAX ? std::string("-")
                                    : std::to_string(a.executed))
         << '\n';
-  atomic_write(manifest_path(opts_.results_dir, opts_.driver), out.str());
+  atomic_write_file(manifest_path(opts_.results_dir, opts_.driver),
+                    out.str(), "orchestrator");
 }
 
 }  // namespace am::measure

@@ -11,10 +11,10 @@
 //     merged store is bit-identical to the store an unsharded run writes.
 //   * Crash containment: a worker that exits non-zero or dies on a signal
 //     is retried (fresh process, bounded budget). Workers checkpoint
-//     their store after every completed engine run
-//     (SweepRunnerOptions::checkpoint, atomic saves), so a retry finds
-//     everything the dead attempt finished and re-runs only the points
-//     that were in flight. A worker rejecting its flags
+//     their store as points complete (SweepRunnerOptions::checkpoint,
+//     atomic saves, throttled to ~1/s), so a retry finds everything the
+//     dead attempt checkpointed and re-runs only the recent points. A
+//     worker rejecting its flags
 //     (kWorkerExitUsage) aborts the whole sweep instead — every other
 //     shard would reject them too.
 //   * No silent holes: a shard that exhausts its retry budget fails the
@@ -24,7 +24,8 @@
 //   * Liveness supervision: workers in --worker mode maintain a heartbeat
 //     file next to their store; a heartbeat gone stale (stopped/wedged
 //     process — invisible to waitpid) gets the worker killed and counted
-//     as a failed attempt.
+//     as a failed attempt. A worker that never writes its first beat
+//     within the timeout (wedged during startup) is treated the same.
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -63,7 +64,11 @@ struct OrchestratorOptions {
   std::size_t retries = 1;
   double poll_seconds = 0.05;
   /// Kill a worker whose heartbeat file is older than this (0 = disabled).
-  /// Only supervises workers that emit heartbeats (--worker drivers).
+  /// With append_worker_flags the command is a --worker driver, which
+  /// writes its first beat at startup — so a missing heartbeat file this
+  /// long after spawn counts as stalled too. Custom commands
+  /// (append_worker_flags == false) are only supervised once they emit a
+  /// heartbeat.
   double stall_timeout_seconds = 0.0;
   bool append_worker_flags = true;
 };

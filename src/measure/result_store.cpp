@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/atomic_file.hpp"
 #include "common/fingerprint.hpp"
 #include "interfere/host_identity.hpp"
 
@@ -364,19 +367,9 @@ void ResultStore::save(const std::string& path) const {
         << '\t' << num(r.total_mem_bandwidth) << '\t'
         << r.interference_threads << '\t' << (r.timed_out ? 1 : 0) << '\n';
   }
-  // Write-then-rename: a worker killed mid-save must not leave a torn
-  // store file for the next (cached or merging) reader to choke on.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::trunc);
-    if (!file || !(file << out.str()) || !file.flush())
-      throw std::runtime_error("ResultStore: failed to write " + tmp);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec)
-    throw std::runtime_error("ResultStore: failed to rename " + tmp +
-                             " to " + path + ": " + ec.message());
+  // Atomic: a worker killed mid-save must not leave a torn store file for
+  // the next (cached or merging) reader to choke on.
+  atomic_write_file(path, out.str(), "ResultStore");
 }
 
 std::vector<const ResultRecord*> ResultStore::records() const {
@@ -409,10 +402,20 @@ ResultStoreFile::ResultStoreFile(const std::string& results_dir,
   store_ = ResultStore::load_or_empty(path_);
 }
 
-std::function<void(const ResultStore&)> ResultStoreFile::checkpointer()
-    const {
+std::function<void(const ResultStore&)> ResultStoreFile::checkpointer(
+    double min_interval_seconds) const {
   if (path_.empty()) return nullptr;
-  return [path = path_](const ResultStore& store) { store.save(path); };
+  using Clock = std::chrono::steady_clock;
+  // Shared across std::function copies so every copy honors one throttle.
+  // Epoch-initialized: the first completed point always reaches disk.
+  auto last = std::make_shared<Clock::time_point>();
+  return [path = path_, min_interval_seconds, last](const ResultStore& store) {
+    const auto now = Clock::now();
+    if (now - *last < std::chrono::duration<double>(min_interval_seconds))
+      return;
+    *last = now;
+    store.save(path);
+  };
 }
 
 bool ResultStoreFile::finish(std::size_t executed, std::size_t planned,

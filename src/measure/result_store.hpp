@@ -186,11 +186,17 @@ class ResultStoreFile {
   ResultStore* store() { return path_.empty() ? nullptr : &store_; }
   const std::string& path() const { return path_; }
 
-  /// A SweepRunnerOptions::checkpoint callback persisting this file after
-  /// every executed point (saves are atomic, so a kill mid-save keeps the
-  /// previous checkpoint). Null when the store is disabled — assignable to
-  /// the option unconditionally, like store().
-  std::function<void(const ResultStore&)> checkpointer() const;
+  /// A SweepRunnerOptions::checkpoint callback persisting this file as
+  /// points complete — at most once per `min_interval_seconds` (0 = every
+  /// point), because the store is rewritten whole and a per-point save
+  /// would cost O(n²) serialization over a large grid while stalling pool
+  /// workers behind each save. The first completed point always saves;
+  /// saves are atomic, so a kill mid-save keeps the previous checkpoint
+  /// and a kill between saves loses at most an interval of finished runs
+  /// (finish() persists everything unconditionally). Null when the store
+  /// is disabled — assignable to the option unconditionally, like store().
+  std::function<void(const ResultStore&)> checkpointer(
+      double min_interval_seconds = 1.0) const;
 
   /// Persists the store and reports the run's cache economy on `out`:
   /// `planned` is the number of grid points this invocation was

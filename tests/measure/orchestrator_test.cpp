@@ -113,6 +113,26 @@ TEST_F(OrchestratorTest, MergesShardStoresIntoCanonicalFile) {
   EXPECT_NE(manifest().find("status\tok"), std::string::npos);
 }
 
+TEST_F(OrchestratorTest, MergePreservesExistingCanonicalRecords) {
+  // The canonical store may hold records from earlier runs (other scales,
+  // other grids) — documented to sit idle in the file. Completing a sweep
+  // must extend that cache, never replace it with only this grid's shards.
+  ResultStore prior;
+  prior.put(key("earlier-grid", 3), result(0.5), "host-fp");
+  prior.save(store_path(dir(), "drv"));
+  seed_shard_store(0, 2);
+  seed_shard_store(1, 2);
+  SweepOrchestrator orch(opts("exit 0", 2, 0));
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_TRUE(report.success) << log.str();
+  EXPECT_EQ(report.merged_records, 3u);
+  const auto merged = ResultStore::load(report.merged_path);
+  EXPECT_TRUE(merged.has(key("earlier-grid", 3)));
+  EXPECT_TRUE(merged.has(key("workload-0", 1)));
+  EXPECT_TRUE(merged.has(key("workload-1", 1)));
+}
+
 TEST_F(OrchestratorTest, WorkerKilledMidShardIsRetried) {
   seed_shard_store(0, 1);
   // First attempt claims the marker and dies as if SIGKILLed mid-shard;
@@ -205,6 +225,25 @@ TEST_F(OrchestratorTest, StaleHeartbeatGetsWorkerKilled) {
   EXPECT_TRUE(report.attempts[0].status.signaled);
   EXPECT_LT(report.attempts[0].wall_seconds, 10.0);
   EXPECT_NE(manifest().find("[stalled]"), std::string::npos);
+}
+
+TEST_F(OrchestratorTest, WorkerWedgedBeforeFirstBeatIsKilled) {
+  seed_shard_store(0, 1);
+  // This worker never writes a heartbeat at all (wedged during startup,
+  // before the writer thread exists). With append_worker_flags — real
+  // --worker drivers beat immediately — time since spawn must trip the
+  // same timeout, or the sweep would hang on the 30 s sleep.
+  auto o = opts("sleep 30", 1, 0);
+  o.stall_timeout_seconds = 0.2;
+  SweepOrchestrator orch(o);
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_FALSE(report.success) << log.str();
+  ASSERT_EQ(report.attempts.size(), 1u);
+  EXPECT_TRUE(report.attempts[0].stalled);
+  EXPECT_TRUE(report.attempts[0].status.signaled);
+  EXPECT_LT(report.attempts[0].wall_seconds, 10.0);
+  EXPECT_NE(log.str().find("no heartbeat"), std::string::npos);
 }
 
 }  // namespace

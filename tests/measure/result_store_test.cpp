@@ -384,6 +384,58 @@ TEST_F(ResultStoreTest, CheckpointPersistsEveryCompletedPoint) {
   EXPECT_EQ(executed, 0u);
 }
 
+TEST_F(ResultStoreTest, PartiallyCachedRunKeysFreshRecordsByPlanPoint) {
+  // Regression: with some points already cached, each fresh result must be
+  // recorded under its own plan point's key. A slip that keyed fresh
+  // records by todo-list position instead silently overwrote correct
+  // cached records with other points' results — exactly the state a
+  // supervised retry resumes from (its predecessor's partial checkpoint).
+  const CountingFactory counter;
+  const auto plan = small_plan(counter);
+  const SweepRunner runner(machine(), options());
+  const auto direct = runner.run(plan);
+
+  // Seed the store with shard 0's half of the grid only.
+  ResultStore store;
+  std::size_t executed = 0;
+  runner.run(plan, nullptr, &store, {0, 2}, &executed);
+  ASSERT_EQ(executed, plan.shard(0, 2).size());
+
+  // "Resume": the full plan over the partial store runs only the rest.
+  const auto resumed = runner.run(plan, nullptr, &store, {}, &executed);
+  EXPECT_EQ(executed, plan.size() - plan.shard(0, 2).size());
+  expect_identical(plan, direct, resumed);
+
+  // Every plan point must now sit under its own key...
+  for (std::size_t i = 0; i < plan.size(); ++i)
+    EXPECT_NE(store.find(runner.key_for(plan, i)), nullptr)
+        << "plan point " << i << " missing from the store";
+  // ...so a further run is fully cached and still bit-identical.
+  const auto rerun = runner.run(plan, nullptr, &store, {}, &executed);
+  EXPECT_EQ(executed, 0u);
+  expect_identical(plan, direct, rerun);
+}
+
+TEST_F(ResultStoreTest, CheckpointerThrottlesFullFileSaves) {
+  // The store is rewritten whole per save, so the checkpointer rate-limits
+  // itself: first call persists, calls inside the interval are skipped,
+  // interval 0 persists every call.
+  ResultStoreFile file(dir_.string(), "drv");
+  ResultStore store;
+  store.put(key("w", 1), result(), "host");
+
+  const auto throttled = file.checkpointer(3600.0);
+  throttled(store);
+  ASSERT_TRUE(std::filesystem::exists(file.path()));
+  store.put(key("w", 2), result(), "host");
+  throttled(store);  // within the interval: must not rewrite
+  EXPECT_EQ(ResultStore::load(file.path()).size(), 1u);
+
+  const auto eager = file.checkpointer(0.0);
+  eager(store);
+  EXPECT_EQ(ResultStore::load(file.path()).size(), 2u);
+}
+
 TEST_F(ResultStoreTest, ShardedRunsMergeBitIdenticalToUnsharded) {
   const CountingFactory counter;
   const auto plan = small_plan(counter);
