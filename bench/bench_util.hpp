@@ -20,11 +20,14 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "common/work_lease.hpp"
 #include "apps/synthetic_benchmark.hpp"
 #include "common/units.hpp"
 #include "interfere/bwthr_agent.hpp"
 #include "interfere/csthr_agent.hpp"
+#include "measure/active_measurer.hpp"
 #include "measure/experiment_plan.hpp"
+#include "measure/lease.hpp"
 #include "measure/orchestrator.hpp"
 #include "measure/result_store.hpp"
 #include "model/ehr_model.hpp"
@@ -39,8 +42,10 @@ struct BenchContext {
   std::uint64_t seed = 1;
   std::string results_dir;  // empty = no persistent result store
   ShardRange shard;         // --shard i/n; default = whole plan
+  std::string lease_path;   // --lease FILE: dynamic lease-worker mode
+  std::string emit_plan_path;  // --emit-plan FILE: scheduler probe mode
   std::string driver;       // store-file naming stem (set by run_driver)
-  bool worker = false;      // --worker: supervised shard-worker mode
+  bool worker = false;      // --worker: supervised worker mode
 
   interfere::CSThrConfig cs_config() const {
     interfere::CSThrConfig c;
@@ -69,7 +74,10 @@ struct BenchContext {
 
 /// Parses the common flags: --scale N (default 16, geometry-preserving),
 /// --full (paper-size machine), --nodes, --csv path, --seed,
-/// --results-dir DIR (persistent result store), --shard i/n.
+/// --results-dir DIR (persistent result store), --shard i/n (static
+/// slice), --lease FILE (dynamic lease-worker mode), --emit-plan FILE
+/// (scheduler probe). The three scheduling flags are mutually exclusive
+/// — each fixes the invocation's entire control flow.
 inline BenchContext make_context(const Cli& cli,
                                  std::uint32_t default_scale = 16,
                                  std::uint32_t nodes = 1) {
@@ -83,19 +91,29 @@ inline BenchContext make_context(const Cli& cli,
   ctx.csv_path = cli.get("csv", "");
   ctx.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   ctx.results_dir = cli.get("results-dir", "");
-  ctx.shard = cli.get_shard("shard");
+  const auto sched = measure::parse_scheduling_flags(cli);
+  ctx.shard = sched.shard;
+  ctx.lease_path = sched.lease_path;
+  ctx.emit_plan_path = sched.emit_plan_path;
   // (--shard without --results-dir is rejected by ResultStoreFile.)
-  if (ctx.shard.sharded() && !ctx.csv_path.empty())
+  if ((ctx.shard.sharded() || !ctx.lease_path.empty()) &&
+      !ctx.csv_path.empty())
     throw std::invalid_argument(
-        "--csv cannot be combined with --shard: a sharded run emits no "
-        "tables — merge the shards, then re-run unsharded with --csv");
+        "--csv cannot be combined with --shard/--lease: a worker emits no "
+        "tables — merge the stores, then re-run unsharded with --csv");
   return ctx;
 }
 
 /// The persistent store backing one driver invocation (see
-/// measure::ResultStoreFile); disabled when --results-dir is unset.
+/// measure::ResultStoreFile); disabled when --results-dir is unset. A
+/// lease worker's store lives next to its lease file and is seeded from
+/// the canonical cache, so re-sweeps stay fully cached no matter which
+/// worker ran a point last time.
 inline measure::ResultStoreFile make_store(const BenchContext& ctx,
                                            const std::string& driver) {
+  if (!ctx.lease_path.empty())
+    return measure::ResultStoreFile::for_lease(ctx.results_dir, driver,
+                                               ctx.lease_path);
   return measure::ResultStoreFile(ctx.results_dir, driver, ctx.shard);
 }
 
@@ -114,12 +132,15 @@ inline measure::ResultStoreFile make_store(const BenchContext& ctx) {
 ///     fails fast instead of retrying a doomed command, any other
 ///     exception exits kWorkerExitRunFailed (retryable); no exception
 ///     escapes to std::terminate's ambiguous SIGABRT.
-///   * `--worker` mode (requires --results-dir): maintains a heartbeat
-///     file next to this shard's store for liveness supervision.
+///   * `--worker` mode (requires --results-dir or --lease): maintains a
+///     heartbeat file next to this worker's store (static shards) or
+///     lease file (lease mode) for liveness supervision.
 ///   * `--test-crash-marker PATH` fault injection: the first invocation
 ///     to claim (atomically delete) the marker file dies via SIGKILL
 ///     before any work, so orchestrator kill/retry paths are testable
-///     deterministically.
+///     deterministically. Probe runs (`--emit-plan`) never claim the
+///     marker — the injection targets workers, and a probe stealing it
+///     would leave the kill/retry path untested.
 template <typename Body>
 int run_driver(int argc, char** argv, const std::string& driver,
                std::uint32_t default_scale, std::uint32_t nodes,
@@ -129,12 +150,13 @@ int run_driver(int argc, char** argv, const std::string& driver,
     BenchContext ctx = make_context(cli, default_scale, nodes);
     ctx.driver = driver;
     ctx.worker = cli.get_bool("worker", false);
-    if (ctx.worker && ctx.results_dir.empty())
+    if (ctx.worker && ctx.results_dir.empty() && ctx.lease_path.empty())
       throw std::invalid_argument(
-          "--worker requires --results-dir: a worker's only output is its "
-          "store file");
+          "--worker requires --results-dir or --lease: a worker's only "
+          "output is its store file");
     const auto marker = cli.get("test-crash-marker", "");
-    if (!marker.empty() && std::filesystem::remove(marker)) {
+    if (!marker.empty() && ctx.emit_plan_path.empty() &&
+        std::filesystem::remove(marker)) {
       std::fprintf(stderr, "%s: crash marker claimed, raising SIGKILL\n",
                    driver.c_str());
       std::raise(SIGKILL);
@@ -142,7 +164,10 @@ int run_driver(int argc, char** argv, const std::string& driver,
     std::optional<HeartbeatWriter> heartbeat;
     if (ctx.worker)
       heartbeat.emplace(
-          measure::store_path(ctx.results_dir, driver, ctx.shard) + ".hb");
+          !ctx.lease_path.empty()
+              ? lease_heartbeat_path(ctx.lease_path)
+              : measure::store_path(ctx.results_dir, driver, ctx.shard) +
+                    ".hb");
     return body(cli, ctx);
   } catch (const std::invalid_argument& e) {
     std::cerr << driver << ": " << e.what() << "\n";
@@ -151,6 +176,77 @@ int run_driver(int argc, char** argv, const std::string& driver,
     std::cerr << driver << ": " << e.what() << "\n";
     return measure::kWorkerExitRunFailed;
   }
+}
+
+/// Executes a plan under whichever scheduling mode this invocation asked
+/// for — the one call a SweepRunner-style driver (fig9/fig11/
+/// mcb_mapping_study) makes instead of wiring the modes itself:
+///
+///   * `--emit-plan FILE`: write plan size + per-point cost estimates
+///     for the scheduler and stop.
+///   * `--lease FILE`: loop running leased batches until the scheduler
+///     drains its queue.
+///   * `--shard i/n`: run the static slice, persist it, print the merge
+///     handoff.
+///   * otherwise: the full (cache-aware) run.
+///
+/// Returns the assembled table only in the last case; nullopt means the
+/// invocation was a worker/probe whose entire output is store or plan
+/// files, and the driver should exit 0 without emitting figures.
+inline std::optional<measure::ResultTable> execute_plan(
+    const BenchContext& ctx, const measure::ExperimentPlan& plan,
+    const measure::SweepRunner& runner, measure::ResultStoreFile& store,
+    ThreadPool* pool) {
+  if (!ctx.emit_plan_path.empty()) {
+    measure::emit_plan_info(plan, runner, store.store(), ctx.emit_plan_path);
+    std::cout << "plan info: " << plan.size() << " point(s) -> "
+              << ctx.emit_plan_path << "\n";
+    return std::nullopt;
+  }
+  if (!ctx.lease_path.empty()) {
+    const auto report = measure::run_lease_worker(plan, runner, pool, store,
+                                                  ctx.lease_path, std::cout);
+    store.finish(report.executed, report.points, std::cout);
+    return std::nullopt;
+  }
+  std::size_t executed = 0;
+  auto table = runner.run(plan, pool, store.store(), ctx.shard, &executed);
+  if (store.finish(executed, table.size(), std::cout))
+    return std::nullopt;  // shard: merge, then re-run to emit
+  return table;
+}
+
+/// The grid-request counterpart of execute_plan for ActiveMeasurer-style
+/// drivers (fig10/fig12/coschedule_advisor). The measurer must already
+/// have its pool and store configured (set_store with this `store`'s
+/// ResultStore). True = the invocation was a probe/lease/shard worker
+/// and is fully handled — the driver should exit 0 without assembling
+/// sweeps.
+inline bool grid_worker_modes(const BenchContext& ctx,
+                              measure::ActiveMeasurer& measurer,
+                              const std::vector<measure::GridRequest>& requests,
+                              measure::ResultStoreFile& store,
+                              const interfere::CSThrConfig& cs,
+                              const interfere::BWThrConfig& bw) {
+  if (!ctx.emit_plan_path.empty()) {
+    measurer.sweep_grid_emit_plan(requests, ctx.emit_plan_path, cs, bw);
+    std::cout << "plan info -> " << ctx.emit_plan_path << "\n";
+    return true;
+  }
+  if (!ctx.lease_path.empty()) {
+    const auto executed =
+        measurer.sweep_grid_lease(requests, store, ctx.lease_path,
+                                  std::cout, cs, bw);
+    store.finish(executed, measurer.last_planned(), std::cout);
+    return true;
+  }
+  if (ctx.shard.sharded()) {
+    const auto executed = measurer.sweep_grid_shard(requests, ctx.shard,
+                                                    cs, bw);
+    store.finish(executed, measurer.last_planned(), std::cout);
+    return true;
+  }
+  return false;
 }
 
 inline void emit(const Table& table, const BenchContext& ctx,

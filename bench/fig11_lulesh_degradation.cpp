@@ -77,17 +77,15 @@ int fig11(const am::Cli& cli, am::bench::BenchContext& ctx) {
   opts.checkpoint = store.checkpointer();  // keep finished runs on a crash
   const am::measure::SweepRunner runner(ctx.machine, opts);
   am::ThreadPool pool;
-  std::size_t executed = 0;
   const auto table =
-      runner.run(plan, &pool, store.store(), ctx.shard, &executed);
-  if (store.finish(executed, table.size(), std::cout))
-    return 0;  // shard: merge, then re-emit
+      am::bench::execute_plan(ctx, plan, runner, store, &pool);
+  if (!table) return 0;  // worker/probe: output is store or plan files
 
   am::bench::emit_degradation_tables(
-      table, rows, "map", "p/processor",
+      *table, rows, "map", "p/processor",
       "Fig. 11 top: Lulesh 22^3, mapping sweep vs ", ctx);
   am::bench::emit_degradation_tables(
-      table, rows, "cube", "cube edge",
+      *table, rows, "cube", "cube edge",
       "Fig. 11 bottom: Lulesh cube sweep (1 process/processor) vs ", ctx);
   return 0;
 }

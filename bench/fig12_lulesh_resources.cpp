@@ -63,12 +63,9 @@ int fig12(const am::Cli& cli, am::bench::BenchContext& ctx) {
            std::min(sweep_cs, ctx.machine.cores_per_socket - p),
            std::min(sweep_bw, ctx.machine.cores_per_socket - p)});
   }
-  if (ctx.shard.sharded()) {
-    const auto executed = measurer.sweep_grid_shard(
-        requests, ctx.shard, ctx.cs_config(), ctx.bw_config());
-    store.finish(executed, measurer.last_planned(), std::cout);
-    return 0;  // merge the shard stores, then re-run to print the figure
-  }
+  if (am::bench::grid_worker_modes(ctx, measurer, requests, store,
+                                   ctx.cs_config(), ctx.bw_config()))
+    return 0;  // worker/probe: merge the stores, then re-run to print
   const auto sweeps =
       measurer.sweep_grid(requests, ctx.cs_config(), ctx.bw_config());
   store.finish(measurer.last_executed(), measurer.last_planned(), std::cout);

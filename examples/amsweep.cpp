@@ -1,30 +1,54 @@
 // amsweep — multi-process sweep orchestrator over the shard/store
 // machinery.
 //
-// Takes a figure driver command and runs its experiment grid as `--shards`
-// disjoint slices on `--workers` concurrent worker processes, each writing
-// its own per-shard ResultStore file. Workers are supervised (exit status
-// + heartbeat files); a crashed or wedged worker is retried on the next
-// free slot up to `--retries` extra attempts. Workers checkpoint their
-// store as points complete (throttled to ~1 save/s), so a retry re-runs
-// only the points since the dead attempt's last checkpoint. When
-// every shard lands, the shard stores are merged (the same library path as
-// `amresult merge`) into the canonical store the unsharded driver reads,
-// and a run manifest (host fingerprint, per-attempt wall-clock/exit
-// status/heartbeats, retry log) is written next to it.
+// Takes a figure driver command and runs its experiment grid across
+// `--workers` supervised worker processes under one of two schedules:
 //
-//   amsweep --results-dir DIR [--workers N] [--shards M] [--retries K]
-//           [--driver-name NAME] [--poll-seconds S] [--stall-timeout S]
-//           -- <figure driver> [driver flags...]
+//   * `--schedule static` (default): `--shards` fixed round-robin slices
+//     chosen at spawn (`--shard i/M` per worker), retries per shard —
+//     the simple mode, fine for homogeneous grids.
+//   * `--schedule lease`: dynamic work-queue scheduling for the paper's
+//     wildly heterogeneous grids. amsweep first probes the driver
+//     (`--emit-plan`) for the plan size and per-point cost estimates
+//     (measured run times from previous sweeps when the store has them,
+//     a thread-count heuristic otherwise), splits the plan into
+//     size-aware batches (`--batches`, default a few per worker), and
+//     leases batches to whichever worker frees up next through
+//     atomically-written lease files (`--lease FILE` per worker).
+//     Crashed or stalled workers get their batch re-queued with a
+//     per-point retry budget.
 //
-//   amsweep --results-dir results --workers 4
+// Workers are supervised either way (exit status + heartbeat sequence
+// progress); workers checkpoint their store as points complete, so a
+// retry re-runs only the points since the dead attempt's last
+// checkpoint. When the grid completes, the worker stores are merged
+// (the same library path as `amresult merge`) into the canonical store
+// the unsharded driver reads, and a run manifest (host fingerprint,
+// per-attempt and per-lease log, per-worker busy-time/batch/steal
+// stats) is written next to it. The merged store is bit-identical to a
+// direct serial run's under both schedules.
+//
+//   amsweep --results-dir DIR [--schedule static|lease] [--workers N]
+//           [--shards M] [--batches K] [--cost-model measured|uniform]
+//           [--retries K] [--driver-name NAME] [--poll-seconds S]
+//           [--stall-timeout S] -- <figure driver> [driver flags...]
+//
+//   amsweep --results-dir results --schedule lease --workers 4
 //       -- bench/fig9_mcb_degradation --quick       (one shell line)
 //
 // Everything after `--` is the worker command; amsweep appends
-// `--results-dir DIR --shard i/M --worker` per shard. `--driver-name`
-// (default: the worker binary's basename) must match the store-file stem
-// the driver uses. Exit status: 0 = merged store written; 1 = sweep
-// failed (see the manifest for which shards are missing); 2 = usage.
+// `--results-dir DIR` plus `--shard i/M --worker` (static) or
+// `--lease FILE --worker` (lease) per worker, and `--emit-plan FILE`
+// for the probe. `--driver-name` (default: the worker binary's
+// basename) must match the store-file stem the driver uses.
+//
+// Exit status:
+//   0  merged store written (bit-identical to a serial run)
+//   1  sweep failed — the manifest names the missing shards (static) or
+//      plan points (lease), and records driver flag rejections and
+//      failed lease-mode plan probes as the fatal error
+//   2  usage: bad amsweep flags (unparseable numbers, unknown
+//      --schedule/--cost-model values, missing --results-dir or "--")
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -43,9 +67,12 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: amsweep --results-dir DIR [--workers N] [--shards M]\n"
-      "               [--retries K] [--driver-name NAME] [--poll-seconds S]\n"
-      "               [--stall-timeout S] -- <figure driver> [flags...]\n");
+      "usage: amsweep --results-dir DIR [--schedule static|lease]\n"
+      "               [--workers N] [--shards M] [--batches K]\n"
+      "               [--cost-model measured|uniform] [--retries K]\n"
+      "               [--driver-name NAME] [--poll-seconds S]\n"
+      "               [--stall-timeout S] -- <figure driver> [flags...]\n"
+      "exit: 0 merged, 1 sweep failed (see manifest), 2 usage\n");
   return 2;
 }
 
@@ -80,6 +107,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "amsweep: --results-dir is required\n");
       return usage();
     }
+    const auto schedule = cli.get("schedule", "static");
+    if (schedule == "lease")
+      opts.schedule = am::measure::Schedule::kLease;
+    else if (schedule != "static")
+      throw std::invalid_argument(
+          "--schedule must be 'static' or 'lease', got '" + schedule + "'");
+    const auto cost_model = cli.get("cost-model", "measured");
+    if (cost_model == "uniform")
+      opts.use_measured_costs = false;
+    else if (cost_model != "measured")
+      throw std::invalid_argument(
+          "--cost-model must be 'measured' or 'uniform', got '" +
+          cost_model + "'");
     // Validate signs before the size_t casts: a negative typo must be a
     // usage error, not SIZE_MAX workers or an effectively infinite retry
     // budget.
@@ -103,6 +143,12 @@ int main(int argc, char** argv) {
     opts.workers = positive("workers", 2);
     opts.shards =
         positive("shards", static_cast<std::int64_t>(opts.workers));
+    // 0 = auto (a few batches per worker slot); explicit counts must be
+    // positive.
+    const auto batches = cli.get_int("batches", 0);
+    if (batches < 0)
+      throw std::invalid_argument("--batches must be >= 0 (0 = auto)");
+    opts.lease_batches = static_cast<std::size_t>(batches);
     const auto retries = cli.get_int("retries", 1);
     if (retries < 0)
       throw std::invalid_argument("--retries must be >= 0");

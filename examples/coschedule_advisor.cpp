@@ -4,18 +4,29 @@
 // prediction by actually co-running the pair on the simulator.
 //
 // Build & run:  ./build/examples/coschedule_advisor [--scale N] [--accesses N]
-//               [--results-dir DIR] [--shard i/n]
+//               [--results-dir DIR] [--shard i/n | --lease FILE |
+//               --emit-plan FILE] [--worker]
+//
+// The scheduling flags make the advisor orchestratable by amsweep (see
+// mcb_mapping_study for the contract); worker exits follow
+// measure::SweepOrchestrator (2 = usage, 3 = run failure).
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/heartbeat.hpp"
+#include "common/work_lease.hpp"
 #include "measure/active_measurer.hpp"
 #include "measure/app_workloads.hpp"
 #include "measure/calibration.hpp"
 #include "measure/coschedule.hpp"
+#include "measure/lease.hpp"
+#include "measure/orchestrator.hpp"
 #include "model/distributions.hpp"
 
 namespace {
@@ -30,18 +41,25 @@ am::apps::SyntheticConfig make_app(const am::sim::MachineConfig& m,
       elements * 2, accesses};
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const am::Cli cli(argc, argv);
+int advise(const am::Cli& cli) {
   const auto kScale = static_cast<std::uint32_t>(cli.get_int("scale", 16));
   const auto accesses =
       static_cast<std::uint64_t>(cli.get_int("accesses", 150'000));
-  // Validates the --shard/--results-dir pairing; disabled when no
-  // results dir is given.
-  const am::ShardRange shard = cli.get_shard("shard");
-  am::measure::ResultStoreFile store(cli.get("results-dir", ""),
-                                     "coschedule_advisor", shard);
+  // One scheduling mode at most (shared contract with the bench
+  // drivers); the --shard/--results-dir pairing is validated by
+  // ResultStoreFile, which is disabled when no results dir is given.
+  const auto [shard, lease, emit_plan] =
+      am::measure::parse_scheduling_flags(cli);
+  auto store =
+      lease.empty()
+          ? am::measure::ResultStoreFile(cli.get("results-dir", ""),
+                                         "coschedule_advisor", shard)
+          : am::measure::ResultStoreFile::for_lease(
+                cli.get("results-dir", ""), "coschedule_advisor", lease);
+  std::optional<am::HeartbeatWriter> heartbeat;
+  if (cli.get_bool("worker", false))
+    heartbeat.emplace(lease.empty() ? store.path() + ".hb"
+                                    : am::lease_heartbeat_path(lease));
   const auto machine = am::sim::MachineConfig::xeon20mb_scaled(kScale);
   am::interfere::CSThrConfig cs;
   cs.buffer_bytes = 4ull * 1024 * 1024 / kScale;
@@ -75,6 +93,17 @@ int main(int argc, char** argv) {
        5, 2},
       {am::measure::make_synthetic_workload(heavy_cfg), "heavy l3=0.60" + atag,
        5, 2}};
+  if (!emit_plan.empty()) {
+    measurer.sweep_grid_emit_plan(requests, emit_plan, cs, bw);
+    std::cout << "plan info -> " << emit_plan << "\n";
+    return 0;
+  }
+  if (!lease.empty()) {
+    const auto executed =
+        measurer.sweep_grid_lease(requests, store, lease, std::cout, cs, bw);
+    store.finish(executed, measurer.last_planned(), std::cout);
+    return 0;
+  }
   if (shard.sharded()) {
     const auto executed = measurer.sweep_grid_shard(requests, shard, cs, bw);
     store.finish(executed, measurer.last_planned(), std::cout);
@@ -130,4 +159,20 @@ int main(int argc, char** argv) {
       "with its own locality. A 'safe' verdict is therefore trustworthy, an\n"
       "'unsafe' one errs toward caution.)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Machine-readable exits for supervisors (measure::SweepOrchestrator).
+  try {
+    const am::Cli cli(argc, argv);
+    return advise(cli);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "coschedule_advisor: %s\n", e.what());
+    return am::measure::kWorkerExitUsage;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "coschedule_advisor: %s\n", e.what());
+    return am::measure::kWorkerExitRunFailed;
+  }
 }

@@ -6,24 +6,48 @@
 //
 // Build & run:  ./build/examples/mcb_mapping_study [--scale N]
 //               [--particles N] [--steps N]
-//               [--results-dir DIR] [--shard i/n]
+//               [--results-dir DIR] [--shard i/n | --lease FILE |
+//               --emit-plan FILE] [--worker]
+//
+// The scheduling flags make the study orchestratable by amsweep: --shard
+// is a static slice, --lease joins a dynamic work queue, --emit-plan
+// answers a scheduler's plan probe. Worker exit codes follow the
+// measure::SweepOrchestrator contract (2 = usage, 3 = run failure).
 #include <cstdio>
 #include <iostream>
+#include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/heartbeat.hpp"
 #include "common/thread_pool.hpp"
+#include "common/work_lease.hpp"
 #include "measure/app_workloads.hpp"
 #include "measure/experiment_plan.hpp"
+#include "measure/lease.hpp"
+#include "measure/orchestrator.hpp"
 
-int main(int argc, char** argv) {
-  const am::Cli cli(argc, argv);
+namespace {
+
+int study(const am::Cli& cli) {
   const auto kScale = static_cast<std::uint32_t>(cli.get_int("scale", 16));
-  // Validates the --shard/--results-dir pairing; disabled when no
-  // results dir is given.
-  const am::ShardRange shard = cli.get_shard("shard");
-  am::measure::ResultStoreFile store(cli.get("results-dir", ""),
-                                     "mcb_mapping_study", shard);
+  // One scheduling mode at most (shared contract with the bench
+  // drivers); the --shard/--results-dir pairing is validated by
+  // ResultStoreFile, which is disabled when no results dir is given.
+  const auto [shard, lease, emit_plan] =
+      am::measure::parse_scheduling_flags(cli);
+  auto store =
+      lease.empty()
+          ? am::measure::ResultStoreFile(cli.get("results-dir", ""),
+                                         "mcb_mapping_study", shard)
+          : am::measure::ResultStoreFile::for_lease(
+                cli.get("results-dir", ""), "mcb_mapping_study", lease);
+  std::optional<am::HeartbeatWriter> heartbeat;
+  if (cli.get_bool("worker", false))
+    heartbeat.emplace(lease.empty()
+                          ? store.path() + ".hb"
+                          : am::lease_heartbeat_path(lease));
   const auto machine =
       am::sim::MachineConfig::xeon20mb_scaled(kScale, /*nodes=*/12);
   am::interfere::CSThrConfig cs;
@@ -58,6 +82,19 @@ int main(int argc, char** argv) {
   const am::measure::SweepRunner runner(machine, opts);
   am::ThreadPool pool;
 
+  if (!emit_plan.empty()) {
+    am::measure::emit_plan_info(plan, runner, store.store(), emit_plan);
+    std::cout << "plan info: " << plan.size() << " point(s) -> " << emit_plan
+              << "\n";
+    return 0;
+  }
+  if (!lease.empty()) {
+    const auto report = am::measure::run_lease_worker(plan, runner, &pool,
+                                                      store, lease,
+                                                      std::cout);
+    store.finish(report.executed, report.points, std::cout);
+    return 0;
+  }
   std::size_t executed = 0;
   const auto table = runner.run(plan, &pool, store.store(), shard, &executed);
   if (store.finish(executed, table.size(), std::cout))
@@ -86,4 +123,22 @@ int main(int argc, char** argv) {
       "jobs on the free cores will hurt (see bench/fig9, fig10 for the\n"
       "full sweeps).\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Machine-readable exits for supervisors (measure::SweepOrchestrator):
+  // flag rejections are usage errors no retry can fix; anything else out
+  // of the sweep is a retryable run failure.
+  try {
+    const am::Cli cli(argc, argv);
+    return study(cli);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "mcb_mapping_study: %s\n", e.what());
+    return am::measure::kWorkerExitUsage;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mcb_mapping_study: %s\n", e.what());
+    return am::measure::kWorkerExitRunFailed;
+  }
 }

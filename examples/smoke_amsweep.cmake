@@ -1,11 +1,14 @@
 # End-to-end exercise of the amsweep orchestrator (ctest smoke entry):
 # run a scaled-down fig9 grid serially, then the same grid through amsweep
 # with 2 worker processes and one injected worker kill (claimed crash
-# marker -> SIGKILL -> retried on the next free slot), and require
-#   1. the orchestrated merged store to be bit-identical to the serial one,
+# marker -> SIGKILL -> retried on the next free slot), in both static-shard
+# and lease (dynamic work-queue) modes, and require
+#   1. each orchestrated merged store to be bit-identical to the serial
+#      one (kill + retry included),
 #   2. an unsharded driver re-run against the merged store to be fully
 #      cached (zero engine runs),
-#   3. a second amsweep over the same store to execute zero engine runs.
+#   3. repeated amsweeps over the same store to execute zero engine runs,
+#   4. the new scheduling flags to be strictly parsed (exit 2 on junk).
 # Driven by -D vars:
 #   AMSWEEP — path to the amsweep binary
 #   FIG9    — path to the fig9_mcb_degradation binary
@@ -103,3 +106,70 @@ foreach(bad nan inf)
       "expected --poll-seconds ${bad} to exit 2 (usage), got ${bad_code}")
   endif()
 endforeach()
+
+# 8. The dynamic scheduler: the same grid through lease-mode amsweep with
+#    one injected worker SIGKILL mid-lease. The killed lease must be
+#    re-queued (retry budget is per-point now) and the merged store must
+#    still be bit-identical to the direct serial run.
+file(WRITE "${WORKDIR}/lease-crash.marker" "")
+run_checked(leased "${AMSWEEP}"
+  --results-dir "${WORKDIR}/lease" --schedule lease --workers 2 --retries 1
+  --stall-timeout 120 --
+  "${FIG9}" ${fig9_args} --test-crash-marker "${WORKDIR}/lease-crash.marker")
+if(EXISTS "${WORKDIR}/lease-crash.marker")
+  message(FATAL_ERROR "no lease worker claimed the crash marker:\n${leased}")
+endif()
+if(NOT leased MATCHES "signal 9")
+  message(FATAL_ERROR
+    "expected a SIGKILLed lease worker in the log:\n${leased}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  "${WORKDIR}/direct/fig9_mcb_degradation.tsv"
+  "${WORKDIR}/lease/fig9_mcb_degradation.tsv"
+  RESULT_VARIABLE ldiff)
+if(NOT ldiff EQUAL 0)
+  message(FATAL_ERROR
+    "lease-scheduled store differs from the direct serial run's store")
+endif()
+file(READ "${WORKDIR}/lease/fig9_mcb_degradation.manifest.tsv" lease_manifest)
+if(NOT lease_manifest MATCHES "schedule\tlease")
+  message(FATAL_ERROR "lease manifest does not record its schedule")
+endif()
+
+# 9. A repeated lease-mode sweep over the merged store must execute zero
+#    engine runs — even though the cost model (now fed by recorded run
+#    times) may batch the points differently than the first pass.
+run_checked(lease_resweep "${AMSWEEP}"
+  --results-dir "${WORKDIR}/lease" --schedule lease --workers 2 --
+  "${FIG9}" ${fig9_args})
+if(NOT lease_resweep MATCHES "0 engine runs total")
+  message(FATAL_ERROR
+    "expected a fully cached lease re-sweep, got:\n${lease_resweep}")
+endif()
+
+# 10. The new scheduling flags are strictly parsed: unknown enum values
+#     and negative batch counts are usage errors (exit 2), as is --lease
+#     without a path on the driver side.
+foreach(bad_flags
+    "--schedule;sometimes" "--cost-model;vibes" "--batches;-1")
+  execute_process(COMMAND "${AMSWEEP}" --results-dir "${WORKDIR}/lease"
+    ${bad_flags} -- "${FIG9}" ${fig9_args}
+    OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE bad_code)
+  if(NOT bad_code EQUAL 2)
+    message(FATAL_ERROR
+      "expected amsweep ${bad_flags} to exit 2 (usage), got ${bad_code}")
+  endif()
+endforeach()
+execute_process(COMMAND "${FIG9}" ${fig9_args} --lease
+  OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE bad_code)
+if(NOT bad_code EQUAL 2)
+  message(FATAL_ERROR
+    "expected a value-less --lease to exit 2 (usage), got ${bad_code}")
+endif()
+execute_process(COMMAND "${FIG9}" ${fig9_args}
+  --lease "${WORKDIR}/x" --shard 0/2
+  OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE bad_code)
+if(NOT bad_code EQUAL 2)
+  message(FATAL_ERROR
+    "expected --lease with --shard to exit 2 (usage), got ${bad_code}")
+endif()

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Benchmark static-shard vs lease scheduling on the skewed fig9 grid.
+
+Runs the scaled-down fig9 sweep twice through amsweep — once with the
+static round-robin schedule, once with dynamic lease scheduling — each
+against a cold result store, and emits BENCH_sweep.json with the
+wall-clock and per-worker busy-time imbalance of both modes. The point
+of the dynamic scheduler is load balance on heterogeneous grids, so the
+tracked regression signal is lease mode's max/mean busy-time imbalance
+staying at or below static's.
+
+Usage:
+  scripts/bench_sweep.py --build build/release [--workers 2]
+                         [--out BENCH_sweep.json] [--workdir DIR]
+
+Exit status: 0 on success (even when lease loses — the JSON records it;
+CI wires this step non-blocking), 1 when a sweep fails outright.
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+import time
+
+FIG9_ARGS = [
+    "--scale", "64", "--ranks", "8", "--steps", "1", "--quick",
+    "--max-cs", "2", "--max-bw", "1",
+]
+
+
+def parse_manifest(path):
+    """The amsweep manifest as {key: [values...]} (repeated keys kept)."""
+    out = {}
+    for line in pathlib.Path(path).read_text().splitlines():
+        if line.startswith("#") or "\t" not in line:
+            continue
+        key, *rest = line.split("\t")
+        out.setdefault(key, []).append(rest)
+    return out
+
+
+def busy_times(manifest, schedule, workers):
+    """Per-worker busy seconds. Lease mode records them directly; static
+    mode runs one shard per worker slot, so each successful attempt's
+    wall-clock is its worker's busy time."""
+    if schedule == "lease":
+        return [float(row[1]) for row in manifest.get("worker", [])]
+    busy = [0.0] * workers
+    for row in manifest.get("attempt", []):
+        shard, _attempt, status, wall = int(row[0]), row[1], row[2], row[3]
+        if status.startswith("exit 0"):
+            busy[shard % workers] += float(wall)
+    return busy
+
+
+def run_mode(amsweep, fig9, schedule, workers, workdir):
+    results = workdir / schedule
+    shutil.rmtree(results, ignore_errors=True)
+    cmd = [
+        str(amsweep), "--results-dir", str(results),
+        "--schedule", schedule,
+        "--workers", str(workers), "--shards", str(workers),
+        "--stall-timeout", "300",
+        "--", str(fig9), *FIG9_ARGS,
+    ]
+    t0 = time.monotonic()
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    wall = time.monotonic() - t0
+    if proc.returncode != 0:
+        print(proc.stdout, file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+        raise RuntimeError(f"{schedule} sweep failed ({proc.returncode})")
+    manifest = parse_manifest(results / "fig9_mcb_degradation.manifest.tsv")
+    busy = busy_times(manifest, schedule, workers)
+    mean = sum(busy) / len(busy) if busy else 0.0
+    return {
+        "wall_seconds": round(wall, 3),
+        "busy_seconds": [round(b, 3) for b in busy],
+        "imbalance_max_over_mean":
+            round(max(busy) / mean, 4) if mean > 0 else None,
+        "engine_runs": int(manifest["engine_runs"][0][0]),
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", default="build/release",
+                    help="build tree holding the amsweep and fig9 binaries")
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--out", default="BENCH_sweep.json")
+    ap.add_argument("--workdir", default="bench_sweep_work")
+    args = ap.parse_args()
+
+    build = pathlib.Path(args.build)
+    amsweep = build / "examples" / "amsweep"
+    fig9 = build / "bench" / "fig9_mcb_degradation"
+    for binary in (amsweep, fig9):
+        if not binary.exists():
+            sys.exit(f"missing binary: {binary} (build the tree first)")
+    workdir = pathlib.Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    report = {
+        "benchmark": "fig9 skewed grid, static vs lease scheduling",
+        "workers": args.workers,
+        "fig9_args": " ".join(FIG9_ARGS),
+    }
+    try:
+        report["static"] = run_mode(amsweep, fig9, "static", args.workers,
+                                    workdir)
+        report["lease"] = run_mode(amsweep, fig9, "lease", args.workers,
+                                   workdir)
+    except RuntimeError as err:
+        sys.exit(str(err))
+
+    s, l = (report[m]["imbalance_max_over_mean"] for m in ("static", "lease"))
+    report["lease_imbalance_le_static"] = (
+        None if s is None or l is None else l <= s)
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if report["lease_imbalance_le_static"] is False:
+        # Informational, not fatal: one noisy run must not fail CI, but
+        # the JSON (and this line) make a trend visible.
+        print("note: lease imbalance exceeded static on this run",
+              file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -22,14 +22,6 @@ std::optional<Heartbeat> read_heartbeat(const std::string& path) {
   return hb;
 }
 
-std::optional<double> heartbeat_age_seconds(const std::string& path) {
-  std::error_code ec;
-  const auto mtime = std::filesystem::last_write_time(path, ec);
-  if (ec) return std::nullopt;
-  const auto age = std::filesystem::file_time_type::clock::now() - mtime;
-  return std::chrono::duration<double>(age).count();
-}
-
 HeartbeatWriter::HeartbeatWriter(std::string path, double interval_seconds)
     : path_(std::move(path)), interval_(interval_seconds) {
   write_beat();  // visible before the constructor returns

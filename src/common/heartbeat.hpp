@@ -1,12 +1,18 @@
 #pragma once
 // Liveness files for supervised worker processes. A worker constructs a
 // HeartbeatWriter on a path inside a directory its supervisor watches; a
-// background thread rewrites the file (pid + monotonic beat counter) at a
-// fixed interval, and removes it again on clean shutdown. The supervisor
-// (measure::SweepOrchestrator) reads the file with read_heartbeat and uses
-// its mtime to distinguish a working child from a stopped or wedged one —
-// waitpid only reports *exits*, a SIGSTOPped or D-state child reports
-// nothing forever. A leftover heartbeat file after a child is gone means
+// background thread rewrites the file (pid + monotonic beat sequence
+// number) at a fixed interval, and removes it again on clean shutdown.
+// The supervisor (measure::SweepOrchestrator) polls the file with
+// read_heartbeat and judges liveness by whether the beat sequence keeps
+// advancing against its own steady clock — waitpid only reports
+// *exits*, a SIGSTOPped or D-state child reports nothing forever.
+// Deliberately NOT by file timestamps: mtimes come from the wall clock,
+// so an NTP step could fake a stall (or mask a real one), while the
+// beat counter is monotonic no matter what the clock does. A worker
+// that never produced a first beat is the one case with no sequence to
+// watch; supervisors fall back to time-since-spawn on their own steady
+// clock for it. A leftover heartbeat file after a child is gone means
 // it died without cleanup (crash or kill).
 #include <atomic>
 #include <condition_variable>
@@ -21,16 +27,14 @@ namespace am {
 /// One parsed heartbeat file: "pid <tab> beats".
 struct Heartbeat {
   std::uint64_t pid = 0;
-  std::uint64_t beats = 0;  // rewrites so far; monotonic per writer
+  /// Monotonic beat sequence number (rewrites so far). Progress of this
+  /// counter between two supervisor polls is the liveness signal.
+  std::uint64_t beats = 0;
 };
 
 /// The last heartbeat written to `path`, or nullopt when the file is
 /// absent or malformed (a torn read mid-rewrite counts as absent).
 std::optional<Heartbeat> read_heartbeat(const std::string& path);
-
-/// Seconds since `path` was last rewritten, or nullopt when absent.
-/// Staleness, not content, is the liveness signal.
-std::optional<double> heartbeat_age_seconds(const std::string& path);
 
 class HeartbeatWriter {
  public:

@@ -1,0 +1,89 @@
+#pragma once
+// On-disk handoff for dynamic work-queue scheduling (see shard.hpp for
+// the WorkLease type itself). Three tiny single-purpose file formats,
+// all written atomically (common/atomic_file) so a reader ever sees a
+// complete previous file or a complete new one, never a torn mix:
+//
+//   * Lease file — scheduler → worker. One per worker slot, rewritten
+//     for every batch: the lease id, the plan indices to run, and a
+//     `done` flag that tells the worker to exit cleanly once the queue
+//     is drained. Workers poll it; a lease id they already acknowledged
+//     means "no new work yet".
+//   * Ack file (`<lease>.ack`) — worker → scheduler. Written after the
+//     worker has executed a lease's points and checkpointed its store:
+//     the lease id, how many points it covered, how many engine runs
+//     were actually executed (cache hits excluded), and the wall-clock
+//     the batch took (the scheduler's per-worker busy-time stat).
+//   * Plan-info file — driver → scheduler, from a `--emit-plan` probe
+//     run: the plan size and a per-point relative cost estimate, which
+//     is everything a scheduler needs to build size-aware batches for a
+//     plan it cannot construct itself (only the driver knows the grid).
+//
+// All readers return nullopt for an absent or malformed file instead of
+// throwing: polling loops treat both as "not there yet", and atomic
+// writes make "malformed" unreachable short of manual editing.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/shard.hpp"
+
+namespace am {
+
+/// A lease file's full content: the batch plus the shutdown flag.
+struct LeaseOffer {
+  WorkLease lease;
+  /// True = queue drained; the worker exits 0 without writing a further
+  /// ack (the scheduler judges the shutdown by exit status, not by a
+  /// receipt). A done offer carries no points.
+  bool done = false;
+};
+
+/// A worker's receipt for one completed lease.
+struct LeaseAck {
+  std::uint64_t lease_id = 0;
+  std::size_t points = 0;    // plan points the lease covered
+  std::size_t executed = 0;  // engine runs actually performed (≤ points)
+  double wall_seconds = 0.0;
+};
+
+/// A probed plan: size and per-point relative cost (costs.size() ==
+/// points; uniform 1.0 when the driver has no better estimate).
+struct PlanInfo {
+  std::size_t points = 0;
+  std::vector<double> costs;
+};
+
+/// Splits `points` plan indices into `count` size-aware batches by
+/// greedy LPT: points in descending cost order (ties by index) each
+/// join the currently cheapest batch (ties by batch index). `costs` is
+/// empty (uniform) or one finite non-negative entry per point — with
+/// uniform costs the assignment degenerates to the round-robin shard
+/// slices {i : i ≡ b (mod count)}, which is what keeps `--shard i/n` a
+/// compatibility front-end of the same scheduler. Batches are disjoint,
+/// cover [0, points) exactly, and list their indices ascending; batch
+/// ids are the batch indices (schedulers re-issue under fresh lease
+/// ids). Throws std::invalid_argument on count == 0 or a bad cost
+/// vector. count > points leaves the high batches empty.
+std::vector<WorkLease> make_batches(std::size_t points, std::size_t count,
+                                    const std::vector<double>& costs = {});
+
+/// Standard sidecar paths next to a lease file.
+std::string lease_ack_path(const std::string& lease_path);
+std::string lease_store_path(const std::string& lease_path);
+std::string lease_heartbeat_path(const std::string& lease_path);
+
+/// Atomic writers; throw std::runtime_error on I/O failure (the
+/// scheduler must know its offer never reached the worker).
+void write_lease_offer(const std::string& path, const LeaseOffer& offer);
+void write_lease_ack(const std::string& path, const LeaseAck& ack);
+void write_plan_info(const std::string& path, const PlanInfo& info);
+
+/// Readers: the parsed file, or nullopt when absent or malformed.
+std::optional<LeaseOffer> read_lease_offer(const std::string& path);
+std::optional<LeaseAck> read_lease_ack(const std::string& path);
+std::optional<PlanInfo> read_plan_info(const std::string& path);
+
+}  // namespace am

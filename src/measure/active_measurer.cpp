@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "measure/lease.hpp"
+
 namespace am::measure {
 
 model::SensitivityCurve SweepResult::curve() const {
@@ -131,6 +133,31 @@ std::size_t ActiveMeasurer::sweep_grid_shard(
   last_planned_ = plan.shard(shard.index, shard.count).size();
   grid_runner(cs, bw).run(plan, pool_, store_, shard, &last_executed_);
   return last_executed_;
+}
+
+std::size_t ActiveMeasurer::sweep_grid_lease(
+    const std::vector<GridRequest>& requests, ResultStoreFile& store,
+    const std::string& lease_path, std::ostream& out,
+    const interfere::CSThrConfig& cs, const interfere::BWThrConfig& bw) {
+  if (store_ == nullptr || store.store() != store_)
+    throw std::logic_error(
+        "sweep_grid_lease: set_store must point at the lease-bound store "
+        "file — leased results only exist as its records");
+  std::vector<WorkloadId> ids;
+  const ExperimentPlan plan = build_grid(requests, ids);
+  const auto report = run_lease_worker(plan, grid_runner(cs, bw), pool_,
+                                       store, lease_path, out);
+  last_planned_ = report.points;
+  last_executed_ = report.executed;
+  return last_executed_;
+}
+
+void ActiveMeasurer::sweep_grid_emit_plan(
+    const std::vector<GridRequest>& requests, const std::string& path,
+    const interfere::CSThrConfig& cs, const interfere::BWThrConfig& bw) {
+  std::vector<WorkloadId> ids;
+  const ExperimentPlan plan = build_grid(requests, ids);
+  emit_plan_info(plan, grid_runner(cs, bw), store_, path);
 }
 
 ResourceBounds ActiveMeasurer::bounds(const SweepResult& sweep,

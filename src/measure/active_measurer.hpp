@@ -6,6 +6,7 @@
 // amount of resource each application process actively uses (§IV).
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,27 @@ class ActiveMeasurer {
                                ShardRange shard,
                                const interfere::CSThrConfig& cs = {},
                                const interfere::BWThrConfig& bw = {});
+
+  /// Lease-worker counterpart of sweep_grid_shard: loop pulling leased
+  /// point batches of the grid's plan through `store` (which must be the
+  /// lease-bound ResultStoreFile whose ResultStore was passed to
+  /// set_store) until the scheduler drains the queue; progress lines go
+  /// to `out`. Returns total engine runs executed. See
+  /// measure::run_lease_worker for the protocol.
+  std::size_t sweep_grid_lease(const std::vector<GridRequest>& requests,
+                               ResultStoreFile& store,
+                               const std::string& lease_path,
+                               std::ostream& out,
+                               const interfere::CSThrConfig& cs = {},
+                               const interfere::BWThrConfig& bw = {});
+
+  /// Scheduler-probe counterpart (`--emit-plan`): writes the grid plan's
+  /// size and per-point cost estimates (measured run times from the
+  /// configured store when present, heuristic otherwise) to `path`.
+  void sweep_grid_emit_plan(const std::vector<GridRequest>& requests,
+                            const std::string& path,
+                            const interfere::CSThrConfig& cs = {},
+                            const interfere::BWThrConfig& bw = {});
 
   /// Derives per-process bounds from a sweep, given how many application
   /// processes share each socket. `tolerance` is the degradation threshold

@@ -1,10 +1,12 @@
 #include "measure/experiment_plan.hpp"
 
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "common/work_lease.hpp"
 #include "interfere/host_identity.hpp"
 
 namespace am::measure {
@@ -53,16 +55,20 @@ WorkloadId ExperimentPlan::add_workload(WorkloadSpec spec) {
 
 std::vector<std::size_t> ExperimentPlan::shard(std::size_t index,
                                                std::size_t count) const {
-  if (count == 0)
-    throw std::invalid_argument("ExperimentPlan::shard: count must be >= 1");
-  if (index >= count)
+  if (index >= count && count != 0)
     throw std::invalid_argument(
         "ExperimentPlan::shard: index " + std::to_string(index) +
         " out of range for " + std::to_string(count) + " shards");
-  std::vector<std::size_t> owned;
-  for (std::size_t i = index; i < points_.size(); i += count)
-    owned.push_back(i);
-  return owned;
+  // batches() with no cost model assigns uniform-cost points greedily,
+  // which is exactly the historical round-robin {i : i ≡ index (mod
+  // count)} — the static front-end is the degenerate case of the
+  // dynamic batcher, so both obey one determinism contract.
+  return batches(count)[index].points;
+}
+
+std::vector<WorkLease> ExperimentPlan::batches(
+    std::size_t count, const std::vector<double>& costs) const {
+  return make_batches(points_.size(), count, costs);
 }
 
 void ExperimentPlan::add_point(WorkloadId workload, Resource resource,
@@ -148,8 +154,61 @@ ResultTable SweepRunner::run(const ExperimentPlan& plan,
 ResultTable SweepRunner::run(const ExperimentPlan& plan, ThreadPool* pool,
                              ResultStore* store, ShardRange shard,
                              std::size_t* executed) const {
+  return run_points(plan, pool, store,
+                    plan.shard(shard.index, shard.count), executed);
+}
+
+std::vector<double> SweepRunner::estimate_costs(
+    const ExperimentPlan& plan, const ResultStore* store) const {
   const auto& points = plan.points();
-  const auto owned = plan.shard(shard.index, shard.count);
+  // Heuristic: every interference thread is another agent the engine
+  // simulates each cycle, so work grows roughly linearly in the thread
+  // count. Relative units only — the uniform per-plan cycle budget
+  // (opts_.max_cycles) multiplies every point equally and divides out.
+  std::vector<double> heuristic(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    heuristic[i] = 1.0 + points[i].threads;
+
+  std::vector<double> measured(points.size(), 0.0);
+  double measured_sum = 0.0, heuristic_sum = 0.0;
+  if (store != nullptr)
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      measured[i] = store->run_seconds(key_for(plan, i));
+      if (measured[i] > 0.0) {
+        measured_sum += measured[i];
+        heuristic_sum += heuristic[i];
+      }
+    }
+
+  // Mixed plans (some points measured, some not): bring the heuristic
+  // onto the measured points' scale so the two populations are
+  // comparable within one batch assignment.
+  const double scale = measured_sum > 0.0 && heuristic_sum > 0.0
+                           ? measured_sum / heuristic_sum
+                           : 1.0;
+  std::vector<double> costs(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    costs[i] = measured[i] > 0.0 ? measured[i] : heuristic[i] * scale;
+  return costs;
+}
+
+ResultTable SweepRunner::run_points(const ExperimentPlan& plan,
+                                    ThreadPool* pool, ResultStore* store,
+                                    const std::vector<std::size_t>& owned,
+                                    std::size_t* executed) const {
+  const auto& points = plan.points();
+  std::vector<bool> seen(points.size(), false);
+  for (const std::size_t i : owned) {
+    if (i >= points.size())
+      throw std::invalid_argument(
+          "SweepRunner::run: plan index " + std::to_string(i) +
+          " out of range for a plan of " + std::to_string(points.size()) +
+          " points");
+    if (seen[i])
+      throw std::invalid_argument("SweepRunner::run: duplicate plan index " +
+                                  std::to_string(i) + " in the work list");
+    seen[i] = true;
+  }
 
   // Cache pass (serial, read-only): slot s of `results` holds the outcome
   // of plan point owned[s]; `todo` collects the slots that must run.
@@ -180,7 +239,14 @@ ResultTable SweepRunner::run(const ExperimentPlan& plan, ThreadPool* pool,
               ? InterferenceSpec::storage(pt.threads, opts_.cs)
               : InterferenceSpec::bandwidth(pt.threads, opts_.bw);
       SimBackend backend(machine_, seed_for(i));
+      const auto t0 = std::chrono::steady_clock::now();
       results[todo[t]] = backend.run(w.factory, spec, opts_.max_cycles);
+      // Wall-clock, not simulated seconds: simulation speed varies with
+      // workload complexity, and the scheduler's cost model needs the
+      // former. Never part of the result — only a batching hint.
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
       if (store != nullptr) {
         // Record (and optionally checkpoint) each point as it completes,
         // not after the barrier: a process killed mid-plan keeps every
@@ -190,7 +256,7 @@ ResultTable SweepRunner::run(const ExperimentPlan& plan, ThreadPool* pool,
         // Completion order varies under a pool, but records are keyed and
         // the store file is canonically sorted — determinism is untouched.
         const std::lock_guard<std::mutex> lock(store_mutex);
-        store->put(key_for(plan, i), results[todo[t]], host);
+        store->put(key_for(plan, i), results[todo[t]], host, wall);
         if (opts_.checkpoint) opts_.checkpoint(*store);
       }
     } catch (...) {

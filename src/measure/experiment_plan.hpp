@@ -30,6 +30,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/shard.hpp"
 #include "common/thread_pool.hpp"
 #include "measure/result_store.hpp"
 #include "measure/sim_backend.hpp"
@@ -82,8 +83,30 @@ class ExperimentPlan {
   /// points' original plan indices, so per-point seeds — and therefore
   /// results — are identical to an unsharded run. count > size() simply
   /// leaves the high shards empty. Throws std::invalid_argument when
-  /// count == 0 or index >= count.
+  /// count == 0 or index >= count. Implemented as batches(count) with a
+  /// uniform cost model, whose greedy assignment degenerates to exactly
+  /// this round-robin slicing — the compatibility front-end of the
+  /// dynamic scheduler.
   std::vector<std::size_t> shard(std::size_t index, std::size_t count) const;
+
+  /// Splits the plan into `count` size-aware batches for dynamic
+  /// scheduling (measure::SweepOrchestrator leases them to workers).
+  /// `costs`, when non-empty, gives each plan index a relative cost
+  /// (size() entries, finite and >= 0 — see SweepRunner::estimate_costs);
+  /// empty means uniform. Assignment is greedy LPT: points in descending
+  /// cost order (ties by plan index) each join the currently cheapest
+  /// batch (ties by batch index), which with uniform costs reproduces the
+  /// round-robin shard slices bit-exactly. Guarantees, for any cost
+  /// model: the batches are disjoint, cover the plan exactly once, and
+  /// keep original plan indices (ascending within a batch) — so per-point
+  /// seeds, store keys, and therefore results are identical to an
+  /// unsharded run no matter how the batches are scheduled. Batch ids are
+  /// the batch indices; a scheduler re-issues them under fresh lease ids.
+  /// Throws std::invalid_argument when count == 0 or `costs` is the
+  /// wrong length or holds a negative/non-finite entry. count > size()
+  /// leaves the high batches empty.
+  std::vector<WorkLease> batches(std::size_t count,
+                                 const std::vector<double>& costs = {}) const;
 
  private:
   std::vector<WorkloadSpec> workloads_;
@@ -167,6 +190,27 @@ class SweepRunner {
   ResultTable run(const ExperimentPlan& plan, ThreadPool* pool,
                   ResultStore* store, ShardRange shard,
                   std::size_t* executed = nullptr) const;
+
+  /// The general form every run() overload reduces to: run exactly the
+  /// plan indices in `owned` (any subset — a static shard slice or a
+  /// leased batch). Each fresh run is recorded into `store` together with
+  /// its wall-clock (ResultStore run times feed estimate_costs). Throws
+  /// std::invalid_argument on an out-of-range or duplicate index.
+  ResultTable run_points(const ExperimentPlan& plan, ThreadPool* pool,
+                         ResultStore* store,
+                         const std::vector<std::size_t>& owned,
+                         std::size_t* executed = nullptr) const;
+
+  /// Per-point relative costs for ExperimentPlan::batches. A point whose
+  /// key has a recorded wall-clock in `store` (a previous sweep ran it)
+  /// costs its measured seconds; the rest fall back to a 1 + threads
+  /// heuristic (more interference agents = more simulated work per
+  /// cycle), rescaled onto the measured points' scale when any exist.
+  /// The per-run cycle budget (options().max_cycles) is uniform across a
+  /// plan, so it divides out of these relative costs. Deterministic:
+  /// depends only on the plan, this runner's keys, and the store.
+  std::vector<double> estimate_costs(const ExperimentPlan& plan,
+                                     const ResultStore* store) const;
 
   /// The ResultStore key of one plan point — covers the simulated-machine
   /// fingerprint, the workload's name, the (normalized) scenario, this

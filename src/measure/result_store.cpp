@@ -15,6 +15,7 @@
 
 #include "common/atomic_file.hpp"
 #include "common/fingerprint.hpp"
+#include "common/work_lease.hpp"
 #include "interfere/host_identity.hpp"
 
 namespace am::measure {
@@ -22,6 +23,10 @@ namespace am::measure {
 namespace {
 
 constexpr const char* kHeader = "#am-result-store v1";
+// Run-time sidecar (`<path>.times`): "fp <tab> hexfloat-seconds" per
+// line. Separate from the canonical TSV on purpose — wall-clocks differ
+// run to run, and the canonical file's bytes must not.
+constexpr const char* kTimesHeader = "#am-run-times v1";
 // key-fp host machine workload resource threads spec seed max_cycles
 // seconds cycles + 12 counters + miss-rate app-bw total-bw ithreads
 // timed_out.
@@ -288,6 +293,25 @@ ResultStore ResultStore::load(const std::string& path,
                std::to_string(rec.key.threads) +
                " threads with conflicting results — one of them is stale");
   }
+
+  // Run-time sidecar: best effort. A missing, stale, or malformed sidecar
+  // only costs scheduling accuracy, so unlike the canonical file it is
+  // never a load error; entries for unknown fingerprints are ignored.
+  std::ifstream times(path + ".times");
+  if (times && std::getline(times, line) && line == kTimesHeader)
+    while (std::getline(times, line)) {
+      strip_cr(line);
+      const auto cols = split_tabs(line);
+      if (cols.size() != 2) continue;
+      const auto it = store.records_.find(cols[0]);
+      if (it == store.records_.end()) continue;
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(cols[1].c_str(), &end);
+      if (end != cols[1].c_str() && *end == '\0' && errno != ERANGE &&
+          v >= 0.0)
+        it->second.run_seconds = v;
+    }
   return store;
 }
 
@@ -309,7 +333,7 @@ const SimRunResult* ResultStore::find(const ScenarioKey& key) const {
 }
 
 void ResultStore::put(const ScenarioKey& key, const SimRunResult& result,
-                      std::string host) {
+                      std::string host, double run_seconds) {
   for (const auto* field : {&key.workload, &key.machine, &key.spec})
     if (field->find_first_of("\t\n\r") != std::string::npos)
       throw std::invalid_argument(
@@ -322,7 +346,13 @@ void ResultStore::put(const ScenarioKey& key, const SimRunResult& result,
     throw std::runtime_error(
         "ResultStore: fingerprint collision between distinct keys (" +
         it->second.key.workload + " vs " + key.workload + ")");
-  records_[fp] = ResultRecord{key, std::move(host), result};
+  records_[fp] = ResultRecord{key, std::move(host), result, run_seconds};
+}
+
+double ResultStore::run_seconds(const ScenarioKey& key) const {
+  const auto it = records_.find(key.fingerprint());
+  if (it == records_.end() || !(it->second.key == key)) return 0.0;
+  return it->second.run_seconds;
 }
 
 void ResultStore::merge(const ResultStore& other) {
@@ -332,6 +362,11 @@ void ResultStore::merge(const ResultStore& other) {
       records_.emplace(fp, rec);
       continue;
     }
+    // Run times are hints, not payload: keep ours when known, otherwise
+    // adopt the other store's (merge order is fixed by the caller, so
+    // this stays deterministic).
+    if (it->second.run_seconds <= 0.0 && rec.run_seconds > 0.0)
+      it->second.run_seconds = rec.run_seconds;
     if (!(it->second.key == rec.key))
       throw std::runtime_error(
           "ResultStore::merge: fingerprint collision between distinct keys");
@@ -370,6 +405,19 @@ void ResultStore::save(const std::string& path) const {
   // Atomic: a worker killed mid-save must not leave a torn store file for
   // the next (cached or merging) reader to choke on.
   atomic_write_file(path, out.str(), "ResultStore");
+
+  // Sidecar with the known run times, best effort: losing it costs the
+  // scheduler its measured costs (it falls back to the heuristic), never
+  // a result.
+  std::ostringstream times;
+  times << kTimesHeader << '\n';
+  bool any = false;
+  for (const auto& [fp, rec] : records_)
+    if (rec.run_seconds > 0.0) {
+      times << fp << '\t' << num(rec.run_seconds) << '\n';
+      any = true;
+    }
+  if (any) try_atomic_write_file(path + ".times", times.str());
 }
 
 std::vector<const ResultRecord*> ResultStore::records() const {
@@ -400,6 +448,29 @@ ResultStoreFile::ResultStoreFile(const std::string& results_dir,
   std::filesystem::create_directories(results_dir);
   path_ = store_path(results_dir, driver, shard);
   store_ = ResultStore::load_or_empty(path_);
+}
+
+ResultStoreFile ResultStoreFile::for_lease(const std::string& results_dir,
+                                           const std::string& driver,
+                                           const std::string& lease_path) {
+  if (lease_path.empty())
+    throw std::invalid_argument(
+        "ResultStoreFile: a lease worker needs a --lease path");
+  ResultStoreFile file(results_dir, driver);
+  file.path_ = lease_store_path(lease_path);
+  ResultStore mine = ResultStore::load_or_empty(file.path_);
+  // Seed order matters for determinism of run-time hints: this lease's
+  // own records win over the canonical cache already loaded by the
+  // delegated constructor (file.store_ may be empty when results_dir is
+  // unset — a standalone lease worker has no canonical cache).
+  mine.merge(file.store_);
+  file.store_ = std::move(mine);
+  return file;
+}
+
+void ResultStoreFile::save() {
+  if (path_.empty()) return;
+  store_.save(path_);
 }
 
 std::function<void(const ResultStore&)> ResultStoreFile::checkpointer(

@@ -104,6 +104,13 @@ struct ResultRecord {
   ScenarioKey key;
   std::string host;
   SimRunResult result;
+  /// Wall-clock the producing engine run took (0 = unknown, e.g. a store
+  /// written before run times existed). Feeds the dynamic scheduler's
+  /// cost model (SweepRunner::estimate_costs); persisted in a
+  /// `<path>.times` sidecar, NOT in the canonical TSV — run times differ
+  /// between hosts and runs, and the canonical file must stay
+  /// bit-identical however a sweep was scheduled.
+  double run_seconds = 0.0;
 };
 
 /// Options for ResultStore::load. Empty expectations skip that check.
@@ -137,10 +144,16 @@ class ResultStore {
   const SimRunResult* find(const ScenarioKey& key) const;
 
   /// Inserts or overwrites one record. `host` defaults to this host's
-  /// fingerprint. Throws std::invalid_argument on workload names the
-  /// line-oriented format cannot hold (embedded tab/newline).
+  /// fingerprint; `run_seconds` is the producing run's wall-clock (0 =
+  /// unknown), kept as a scheduling hint. Throws std::invalid_argument
+  /// on workload names the line-oriented format cannot hold (embedded
+  /// tab/newline).
   void put(const ScenarioKey& key, const SimRunResult& result,
-           std::string host = {});
+           std::string host = {}, double run_seconds = 0.0);
+
+  /// The recorded wall-clock for `key`'s producing run, or 0.0 when the
+  /// record is absent or predates run-time tracking.
+  double run_seconds(const ScenarioKey& key) const;
 
   /// Folds `other` into this store. Records agreeing on key and payload
   /// deduplicate; records with equal keys but different payloads are a
@@ -150,8 +163,10 @@ class ResultStore {
 
   /// Writes the canonical (fingerprint-sorted) file, atomically (write to
   /// `path`.tmp, then rename): a process killed mid-save leaves the old
-  /// file intact, never a torn one. Throws std::runtime_error on I/O
-  /// failure.
+  /// file intact, never a torn one. Records with a known run_seconds also
+  /// land in a `<path>.times` sidecar (best effort — a lost sidecar only
+  /// degrades cost estimates, never results). Throws std::runtime_error
+  /// on I/O failure of the canonical file.
   void save(const std::string& path) const;
 
   std::size_t size() const { return records_.size(); }
@@ -182,9 +197,25 @@ class ResultStoreFile {
   ResultStoreFile(const std::string& results_dir, const std::string& driver,
                   ShardRange shard = {});
 
+  /// Lease-worker variant: the backing file is the lease's own store
+  /// (common/work_lease.hpp's lease_store_path(lease_path)), and the
+  /// canonical store for `driver` under `results_dir` (when the
+  /// directory is set and the file exists) is folded in as a cache seed
+  /// — so a re-sweep stays fully cached even when the scheduler hands
+  /// this worker points a different worker ran last time. Throws
+  /// std::invalid_argument on an empty lease path.
+  static ResultStoreFile for_lease(const std::string& results_dir,
+                                   const std::string& driver,
+                                   const std::string& lease_path);
+
   /// The backing store, or nullptr when disabled.
   ResultStore* store() { return path_.empty() ? nullptr : &store_; }
   const std::string& path() const { return path_; }
+
+  /// Persists the store to its path now (atomic); no-op when disabled.
+  /// The lease worker calls this before acknowledging each batch —
+  /// durable results first, receipt second.
+  void save();
 
   /// A SweepRunnerOptions::checkpoint callback persisting this file as
   /// points complete — at most once per `min_interval_seconds` (0 = every

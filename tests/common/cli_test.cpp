@@ -111,5 +111,37 @@ TEST(Cli, ShardParsingRejectsMalformedValues) {
         << bad;
 }
 
+TEST(Cli, PathFlagsLikeLeaseParseBothForms) {
+  // The scheduler worker flags (--lease FILE, --emit-plan FILE) are
+  // plain string flags; both spellings must carry the path through
+  // verbatim, including paths that contain '='.
+  EXPECT_EQ(make({"--lease", "/tmp/drv.lease0"}).get("lease", ""),
+            "/tmp/drv.lease0");
+  EXPECT_EQ(make({"--lease=/tmp/a=b.lease"}).get("lease", ""),
+            "/tmp/a=b.lease");
+  EXPECT_EQ(make({"--emit-plan", "plan.tsv"}).get("emit-plan", ""),
+            "plan.tsv");
+  // A value-less occurrence degrades to the boolean sentinel "true" —
+  // the one value the drivers reject as a missing path (a file named
+  // "true" would be indistinguishable from the typo).
+  EXPECT_EQ(make({"--lease"}).get("lease", ""), "true");
+  EXPECT_EQ(make({"--lease", "--worker"}).get("lease", ""), "true");
+}
+
+TEST(Cli, CostModelOverridesParseStrictly) {
+  // amsweep's --batches is get_int-validated: trailing junk or empty
+  // values must throw, never quietly become 0 batches.
+  EXPECT_EQ(make({"--batches", "12"}).get_int("batches", 0), 12);
+  EXPECT_THROW(make({"--batches", "12x"}).get_int("batches", 0),
+               std::invalid_argument);
+  EXPECT_THROW(make({"--batches"}).get_int("batches", 0),
+               std::invalid_argument);  // value-less -> "true"
+  // --schedule/--cost-model are plain strings here; the binary rejects
+  // unknown values (covered end to end by smoke_amsweep).
+  EXPECT_EQ(make({"--cost-model=uniform"}).get("cost-model", "measured"),
+            "uniform");
+  EXPECT_EQ(make({}).get("cost-model", "measured"), "measured");
+}
+
 }  // namespace
 }  // namespace am

@@ -39,13 +39,14 @@ TEST(Heartbeat, WriterBeatsAndCleansUp) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
       if (const auto hb = read_heartbeat(path)) beats = hb->beats;
     }
+    // The sequence number is the liveness signal: supervisors judge a
+    // worker stalled when it stops advancing, never by file timestamps
+    // (which an NTP step could fake).
     EXPECT_GT(beats, first->beats);
-    EXPECT_TRUE(heartbeat_age_seconds(path).has_value());
   }
   // Clean shutdown removes the file — a leftover heartbeat means a crash.
   EXPECT_FALSE(fs::exists(path));
   EXPECT_FALSE(read_heartbeat(path).has_value());
-  EXPECT_FALSE(heartbeat_age_seconds(path).has_value());
 }
 
 TEST(Heartbeat, StopIsIdempotent) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "common/work_lease.hpp"
 #include "measure/active_measurer.hpp"
 #include "measure/app_workloads.hpp"
 #include "model/distributions.hpp"
@@ -130,6 +133,113 @@ TEST(ExperimentPlan, ShardEdgeCases) {
   EXPECT_THROW(plan.shard(0, 0), std::invalid_argument);
   EXPECT_THROW(plan.shard(2, 2), std::invalid_argument);
   EXPECT_THROW(plan.shard(7, 2), std::invalid_argument);
+}
+
+TEST(ExperimentPlan, BatchesCoverEveryPlanExactlyOnceForRandomCostModels) {
+  // Property-style: whatever the plan size, batch count, and cost model,
+  // the union of all batches is the plan, exactly once — the scheduler
+  // contract that makes a leased sweep's merged store complete and
+  // collision-free. Fixed seed: failures must reproduce.
+  std::mt19937_64 rng(20260726);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t points = rng() % 40;  // includes the empty plan
+    const std::size_t count = 1 + rng() % 12;
+    std::vector<double> costs;
+    if (rng() % 3 != 0) {  // every third round: uniform (no model)
+      costs.resize(points);
+      for (auto& c : costs)
+        c = std::uniform_real_distribution<double>(0.0, 20.0)(rng);
+    }
+    const auto batches = make_batches(points, count, costs);
+    ASSERT_EQ(batches.size(), count);
+    std::vector<int> owners(points, 0);
+    for (const auto& lease : batches) {
+      // Ascending within a batch, by contract.
+      for (std::size_t i = 1; i < lease.points.size(); ++i)
+        EXPECT_LT(lease.points[i - 1], lease.points[i]);
+      for (const std::size_t p : lease.points) {
+        ASSERT_LT(p, points);
+        ++owners[p];
+      }
+    }
+    for (const int n : owners) EXPECT_EQ(n, 1);
+  }
+}
+
+TEST(ExperimentPlan, UniformBatchesReproduceRoundRobinShards) {
+  // shard(i, n) is documented as the uniform-cost degenerate case of
+  // batches(); hold both to the historical round-robin oracle so the
+  // static front-end stays bit-compatible forever.
+  ExperimentPlan plan;
+  const auto w = plan.add_workload({"w", synth_factory()});
+  plan.add_sweep(w, Resource::kCacheStorage, 0, 10);  // 11 points
+  for (const std::size_t n : {1u, 2u, 3u, 5u, 11u, 13u}) {
+    const auto batches = plan.batches(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::size_t> oracle;
+      for (std::size_t p = i; p < plan.size(); p += n) oracle.push_back(p);
+      EXPECT_EQ(batches[i].points, oracle);
+      EXPECT_EQ(plan.shard(i, n), oracle);
+    }
+  }
+}
+
+TEST(ExperimentPlan, BatchesBalanceSkewedCosts) {
+  // One dominating point must not drag half the plan with it: LPT gives
+  // the heavy point its own batch and spreads the rest.
+  const std::vector<double> costs{100.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  const auto batches = make_batches(6, 2, costs);
+  double lo = batches[0].cost, hi = batches[1].cost;
+  if (lo > hi) std::swap(lo, hi);
+  EXPECT_EQ(hi, 100.0);  // heavy point isolated
+  EXPECT_EQ(lo, 5.0);    // all light points together
+}
+
+TEST(ExperimentPlan, BatchesRejectBadCostModels) {
+  ExperimentPlan plan;
+  const auto w = plan.add_workload({"w", synth_factory()});
+  plan.add_sweep(w, Resource::kCacheStorage, 0, 3);
+  EXPECT_THROW(plan.batches(0), std::invalid_argument);
+  EXPECT_THROW(plan.batches(2, {1.0}), std::invalid_argument);  // wrong len
+  EXPECT_THROW(plan.batches(2, {1.0, -1.0, 1.0, 1.0}),
+               std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(plan.batches(2, {1.0, nan, 1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(SweepRunner, RunPointsRejectsBadWorkLists) {
+  const auto plan = two_workload_plan();
+  const SweepRunner runner(machine(), options());
+  EXPECT_THROW(runner.run_points(plan, nullptr, nullptr, {plan.size()}),
+               std::invalid_argument);
+  EXPECT_THROW(runner.run_points(plan, nullptr, nullptr, {0, 0}),
+               std::invalid_argument);
+}
+
+TEST(SweepRunner, EstimateCostsPrefersMeasuredTimesAndFallsBackToHeuristic) {
+  const auto plan = two_workload_plan();
+  const SweepRunner runner(machine(), options());
+
+  // No store: pure heuristic, increasing in thread count.
+  const auto heuristic = runner.estimate_costs(plan, nullptr);
+  ASSERT_EQ(heuristic.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i)
+    EXPECT_EQ(heuristic[i], 1.0 + plan.points()[i].threads);
+
+  // A store with one measured run: that point costs its wall-clock, the
+  // rest keep the (rescaled) heuristic — and the result is deterministic.
+  ResultStore store;
+  SimRunResult r;
+  r.seconds = 0.5;
+  store.put(runner.key_for(plan, 0), r, "host", /*run_seconds=*/7.5);
+  const auto mixed = runner.estimate_costs(plan, &store);
+  EXPECT_EQ(mixed[0], 7.5);
+  // Point 0 is a baseline (heuristic 1.0) measured at 7.5 s, so the
+  // heuristic population is rescaled by 7.5/1.0.
+  for (std::size_t i = 1; i < plan.size(); ++i)
+    EXPECT_EQ(mixed[i], heuristic[i] * 7.5);
+  EXPECT_EQ(mixed, runner.estimate_costs(plan, &store));
 }
 
 TEST(ResultTable, HasAndGetErrorPaths) {

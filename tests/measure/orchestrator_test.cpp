@@ -67,6 +67,9 @@ class OrchestratorTest : public ::testing::Test {
     o.workers = 2;
     o.retries = retries;
     o.poll_seconds = 0.005;
+    // sh-script stand-ins have no --emit-plan contract; probing them
+    // would only add a wasted spawn (and claim test fault injections).
+    o.probe_plan = false;
     return o;
   }
 
@@ -225,6 +228,165 @@ TEST_F(OrchestratorTest, StaleHeartbeatGetsWorkerKilled) {
   EXPECT_TRUE(report.attempts[0].status.signaled);
   EXPECT_LT(report.attempts[0].wall_seconds, 10.0);
   EXPECT_NE(manifest().find("[stalled]"), std::string::npos);
+}
+
+TEST_F(OrchestratorTest, SequenceStuckHeartbeatIsAStallEvenWithFreshMtimes) {
+  // NTP-immunity regression: this worker rewrites its heartbeat file
+  // forever — fresh mtime every 50 ms — but the beat sequence number
+  // never advances. Mtime-based staleness would call it alive
+  // indefinitely; sequence-progress supervision must kill it.
+  seed_shard_store(0, 1);
+  const auto hb = store_path(dir(), "drv", {0, 1}) + ".hb";
+  auto o = opts("while :; do printf '1\\t1\\n' > " + hb +
+                    "; sleep 0.05; done",
+                1, 0);
+  o.stall_timeout_seconds = 0.3;
+  SweepOrchestrator orch(o);
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_FALSE(report.success) << log.str();
+  ASSERT_EQ(report.attempts.size(), 1u);
+  EXPECT_TRUE(report.attempts[0].stalled);
+  EXPECT_TRUE(report.attempts[0].status.signaled);
+  EXPECT_LT(report.attempts[0].wall_seconds, 10.0);
+  EXPECT_NE(log.str().find("heartbeat stuck at beat 1"), std::string::npos);
+}
+
+TEST_F(OrchestratorTest, StaticProbeSkipsEmptyShards) {
+  // A probed plan of 1 point makes shards 1 and 2 of 3 provably empty:
+  // the orchestrator must not fork, supervise, or merge workers for
+  // them.
+  seed_shard_store(0, 3);
+  auto o = opts(
+      "case \"$3\" in --emit-plan) printf '#am-plan-info v1\\npoints\\t1\\n'"
+      " > \"$4.tmp\" && mv \"$4.tmp\" \"$4\";; esac; exit 0",
+      3, 0);
+  o.probe_plan = true;
+  SweepOrchestrator orch(o);
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_TRUE(report.success) << log.str();
+  EXPECT_EQ(report.plan_points, 1u);
+  EXPECT_EQ(report.skipped_empty, 2u);
+  EXPECT_EQ(report.attempts.size(), 1u);  // only shard 0 ever spawned
+  EXPECT_EQ(report.merged_records, 1u);
+  EXPECT_NE(manifest().find("skipped_empty\t2"), std::string::npos);
+}
+
+TEST_F(OrchestratorTest, StaticProbeFailureFallsBackToSpawningAllShards) {
+  // Custom or older drivers without --emit-plan must keep working: a
+  // failed probe degrades to the un-probed static schedule.
+  seed_shard_store(0, 2);
+  seed_shard_store(1, 2);
+  auto o = opts("case \"$3\" in --emit-plan) exit 3;; esac; exit 0", 2, 0);
+  o.probe_plan = true;
+  SweepOrchestrator orch(o);
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_TRUE(report.success) << log.str();
+  EXPECT_EQ(report.plan_points, SIZE_MAX);  // never learned
+  EXPECT_EQ(report.attempts.size(), 2u);
+  EXPECT_NE(log.str().find("probe failed"), std::string::npos);
+}
+
+/// A /bin/sh lease worker: answers the --emit-plan probe with a 3-point
+/// plan, then acknowledges every offered lease until the done offer.
+/// The appended flags arrive as $1=--results-dir $2=<dir> then either
+/// $3=--emit-plan $4=<file> or $3=--lease $4=<file> $5=--worker.
+constexpr const char* kLeaseWorkerScript = R"sh(
+case "$3" in
+  --emit-plan)
+    printf '#am-plan-info v1\npoints\t3\n' > "$4.tmp" && mv "$4.tmp" "$4"
+    exit 0 ;;
+  --lease)
+    lease=$4; last=
+    while :; do
+      if [ -f "$lease" ]; then
+        id=$(awk '$1=="lease"{print $2}' "$lease")
+        dn=$(awk '$1=="done"{print $2}' "$lease")
+        if [ -n "$id" ] && [ "$id" != "$last" ]; then
+          if [ "$dn" = "1" ]; then exit 0; fi
+          printf '#am-lease-ack v1\nlease\t%s\npoints\t1\nexecuted\t2\nwall\t0.25\n' \
+            "$id" > "$lease.ack.tmp" && mv "$lease.ack.tmp" "$lease.ack"
+          last=$id
+        fi
+      fi
+      sleep 0.01
+    done ;;
+esac
+exit 0
+)sh";
+
+TEST_F(OrchestratorTest, LeaseModeDrainsTheQueueAndRecordsLoadStats) {
+  auto o = opts(kLeaseWorkerScript, 2, 0);
+  o.schedule = Schedule::kLease;
+  o.probe_plan = true;
+  SweepOrchestrator orch(o);
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_TRUE(report.success) << log.str();
+  EXPECT_EQ(report.schedule, Schedule::kLease);
+  EXPECT_EQ(report.plan_points, 3u);
+  // 3 points → 3 singleton batches, every one acknowledged, each ack
+  // reporting 2 engine runs.
+  EXPECT_EQ(report.leases.size(), 3u);
+  for (const auto& lease : report.leases) {
+    EXPECT_TRUE(lease.completed);
+    EXPECT_EQ(lease.executed, 2u);
+  }
+  EXPECT_EQ(report.engine_runs, 6u);
+  EXPECT_TRUE(report.missing_points.empty());
+  ASSERT_EQ(report.worker_stats.size(), 2u);
+  std::size_t batches = 0;
+  for (const auto& ws : report.worker_stats) batches += ws.batches;
+  EXPECT_EQ(batches, 3u);
+  const auto m = manifest();
+  EXPECT_NE(m.find("schedule\tlease"), std::string::npos);
+  EXPECT_NE(m.find("plan_points\t3"), std::string::npos);
+  EXPECT_NE(m.find("worker\t0\t"), std::string::npos);
+  EXPECT_NE(m.find("worker\t1\t"), std::string::npos);
+}
+
+TEST_F(OrchestratorTest, LeaseModeRequiresASuccessfulProbe) {
+  auto o = opts("case \"$3\" in --emit-plan) exit 3;; esac; exit 0", 2, 0);
+  o.schedule = Schedule::kLease;
+  o.probe_plan = true;
+  SweepOrchestrator orch(o);
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.error.find("probe"), std::string::npos) << report.error;
+  EXPECT_TRUE(report.attempts.empty());  // no workers ever spawned
+}
+
+TEST_F(OrchestratorTest, LeaseModeExhaustsPerPointBudgetAndNamesPoints) {
+  // Workers that die holding a lease charge each leased point one
+  // failure; once a point's budget is gone the sweep fails and the
+  // manifest names it.
+  auto o = opts(
+      "case \"$3\" in --emit-plan) printf '#am-plan-info v1\\npoints\\t2\\n'"
+      " > \"$4.tmp\" && mv \"$4.tmp\" \"$4\"; exit 0;; esac; exit 3",
+      2, 1);
+  o.schedule = Schedule::kLease;
+  o.probe_plan = true;
+  o.workers = 1;
+  SweepOrchestrator orch(o);
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_FALSE(report.success) << log.str();
+  EXPECT_EQ(report.missing_points.size(), 2u);
+  const auto m = manifest();
+  EXPECT_NE(m.find("missing_point\t0"), std::string::npos);
+  EXPECT_NE(m.find("missing_point\t1"), std::string::npos);
+  // No merged store may appear for an incomplete sweep.
+  EXPECT_FALSE(fs::exists(store_path(dir(), "drv")));
+}
+
+TEST_F(OrchestratorTest, LeaseModeRejectsCustomCommandsWithoutTheContract) {
+  auto o = opts("exit 0", 1, 0);
+  o.schedule = Schedule::kLease;
+  o.append_worker_flags = false;
+  EXPECT_THROW(SweepOrchestrator{o}, std::invalid_argument);
 }
 
 TEST_F(OrchestratorTest, WorkerWedgedBeforeFirstBeatIsKilled) {

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "interfere/host_identity.hpp"
@@ -463,6 +464,104 @@ TEST_F(ResultStoreTest, ShardedRunsMergeBitIdenticalToUnsharded) {
   EXPECT_EQ(executed, 0u);
   EXPECT_EQ(counter.runs->load(), runs_before);
   expect_identical(plan, direct, assembled);
+}
+
+TEST_F(ResultStoreTest, RunTimesPersistInSidecarNotInTheCanonicalFile) {
+  // Wall-clocks feed the scheduler's cost model, so they must survive a
+  // save/load round-trip — but through the `.times` sidecar only: the
+  // canonical TSV's bytes must be identical with and without them, or
+  // lease-scheduled and serial sweeps would stop byte-comparing equal.
+  ResultStore with_times, without_times;
+  with_times.put(key("w", 1), result(), "host", /*run_seconds=*/2.5);
+  without_times.put(key("w", 1), result(), "host");
+  with_times.save(path("with.tsv"));
+  without_times.save(path("without.tsv"));
+
+  std::ifstream a(path("with.tsv")), b(path("without.tsv"));
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+
+  EXPECT_TRUE(std::filesystem::exists(path("with.tsv.times")));
+  const auto reloaded = ResultStore::load(path("with.tsv"));
+  EXPECT_EQ(reloaded.run_seconds(key("w", 1)), 2.5);
+  EXPECT_EQ(reloaded.run_seconds(key("other", 1)), 0.0);
+
+  // A lost/absent sidecar degrades to "unknown", never an error.
+  const auto bare = ResultStore::load(path("without.tsv"));
+  EXPECT_EQ(bare.run_seconds(key("w", 1)), 0.0);
+}
+
+TEST_F(ResultStoreTest, MergeAdoptsRunTimesWithoutOverridingKnownOnes) {
+  ResultStore a, b;
+  a.put(key("w", 1), result(), "host", 1.5);
+  a.put(key("w", 2), result(), "host");  // unknown here...
+  b.put(key("w", 1), result(), "host", 9.0);
+  b.put(key("w", 2), result(), "host", 3.0);  // ...known there
+  a.merge(b);
+  EXPECT_EQ(a.run_seconds(key("w", 1)), 1.5);  // ours wins when known
+  EXPECT_EQ(a.run_seconds(key("w", 2)), 3.0);  // theirs fills the gap
+}
+
+TEST_F(ResultStoreTest, LeasedBatchesMergeBitIdenticalToSerial) {
+  // The dynamic-scheduler acceptance contract, in-process: run the plan
+  // serially, then as cost-skewed leased batches bounced across two
+  // simulated worker stores, and require the merged store *file* to be
+  // byte-identical to the serial one.
+  const CountingFactory counter;
+  const auto plan = small_plan(counter);
+  const SweepRunner runner(machine(), options());
+
+  ResultStore serial;
+  runner.run(plan, nullptr, &serial, {}, nullptr);
+  serial.save(path("serial.tsv"));
+
+  // Deliberately lumpy cost model → uneven batches, exercised across
+  // two worker stores round-robin (like two lease-worker processes).
+  std::vector<double> costs(plan.size(), 1.0);
+  costs[0] = 50.0;
+  costs[plan.size() - 1] = 25.0;
+  const auto batches = plan.batches(4, costs);
+  ResultStore workers[2];
+  std::size_t served = 0;
+  for (const auto& lease : batches) {
+    if (lease.points.empty()) continue;
+    std::size_t executed = 0;
+    runner.run_points(plan, nullptr, &workers[served++ % 2], lease.points,
+                      &executed);
+    EXPECT_EQ(executed, lease.points.size());
+  }
+
+  ResultStore merged;
+  merged.merge(workers[0]);
+  merged.merge(workers[1]);
+  merged.save(path("merged.tsv"));
+
+  std::ifstream a(path("serial.tsv")), b(path("merged.tsv"));
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST_F(ResultStoreTest, ForLeaseStoreSeedsFromCanonicalCache) {
+  // A lease worker's store must start from the canonical cache, so a
+  // re-sweep stays fully cached even when the scheduler hands this
+  // worker points a different worker ran last time.
+  ResultStore canonical;
+  canonical.put(key("w", 1), result(), "host", 4.0);
+  canonical.save(path("drv.tsv"));
+
+  auto file = ResultStoreFile::for_lease(dir_.string(), "drv",
+                                         path("drv.lease0"));
+  ASSERT_NE(file.store(), nullptr);
+  EXPECT_EQ(file.path(), path("drv.lease0.tsv"));
+  EXPECT_TRUE(file.store()->has(key("w", 1)));
+  EXPECT_EQ(file.store()->run_seconds(key("w", 1)), 4.0);
+
+  EXPECT_THROW(ResultStoreFile::for_lease(dir_.string(), "drv", ""),
+               std::invalid_argument);
 }
 
 TEST_F(ResultStoreTest, ShardedTableContainsOnlyOwnedPoints) {
