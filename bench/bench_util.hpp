@@ -74,6 +74,8 @@ struct BenchContext {
 
 /// Parses the common flags: --scale N (default 16, geometry-preserving),
 /// --full (paper-size machine), --nodes, --csv path, --seed,
+/// --l1-filter true|false (the engine's L1 filter fast path, default on —
+/// a host-speed knob whose outputs are bit-identical either way),
 /// --results-dir DIR (persistent result store), --shard i/n (static
 /// slice), --lease FILE (dynamic lease-worker mode), --emit-plan FILE
 /// (scheduler probe). The three scheduling flags are mutually exclusive
@@ -88,6 +90,7 @@ inline BenchContext make_context(const Cli& cli,
                         cli.get_int("scale", default_scale));
   ctx.machine = sim::MachineConfig::xeon20mb_scaled(
       ctx.scale, static_cast<std::uint32_t>(cli.get_int("nodes", nodes)));
+  ctx.machine.l1_filter = cli.get_bool("l1-filter", true);
   ctx.csv_path = cli.get("csv", "");
   ctx.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   ctx.results_dir = cli.get("results-dir", "");

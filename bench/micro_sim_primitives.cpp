@@ -24,6 +24,31 @@ void BM_CacheMissEvict(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheMissEvict);
 
+// The headline filter-fast-path workload tracked by scripts/bench_engine.py:
+// an 8-byte sequential walk over an L1-resident buffer — every access is an
+// L1 hit and 7 of 8 land on the set's MRU line, the access mix the filter
+// exists for. Arg: MachineConfig::l1_filter off (0) / on (1). Every access
+// advances simulated time by exactly l1_latency, so simulated cycles/sec is
+// items/sec x l1_latency.
+void BM_L1HitSequential(benchmark::State& state) {
+  auto cfg = am::sim::MachineConfig::xeon20mb_scaled(16);
+  cfg.l1_filter = state.range(0) != 0;
+  am::sim::MemorySystem ms(cfg);
+  const std::uint64_t bytes = cfg.l1.size_bytes;  // power of two
+  const am::sim::Addr base = ms.alloc(bytes, bytes);
+  am::sim::Cycles now = 0;
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    const auto res =
+        ms.access(0, base + off, am::sim::AccessKind::kLoad, now);
+    now = res.complete;
+    off = (off + 8) & (bytes - 1);
+    benchmark::DoNotOptimize(res.complete);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L1HitSequential)->Arg(0)->Arg(1);
+
 void BM_HierarchyWalkRandom(benchmark::State& state) {
   auto cfg = am::sim::MachineConfig::xeon20mb_scaled(
       static_cast<std::uint32_t>(state.range(0)));
@@ -53,8 +78,10 @@ void BM_DistributionSample(benchmark::State& state) {
 BENCHMARK(BM_DistributionSample)->DenseRange(0, 9);
 
 void BM_EngineStepOverhead(benchmark::State& state) {
-  // Measures raw per-access engine cost with an L1-resident walker.
+  // Measures raw per-access engine cost with a same-line walker (the
+  // filter's best case: 100% MRU hits). Arg: l1_filter off (0) / on (1).
   auto cfg = am::sim::MachineConfig::xeon20mb_scaled(16);
+  cfg.l1_filter = state.range(0) != 0;
   am::sim::MemorySystem ms(cfg);
   const am::sim::Addr addr = ms.alloc(64);
   am::sim::Cycles now = 0;
@@ -65,6 +92,6 @@ void BM_EngineStepOverhead(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_EngineStepOverhead);
+BENCHMARK(BM_EngineStepOverhead)->Arg(0)->Arg(1);
 
 }  // namespace

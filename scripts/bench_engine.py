@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Benchmark raw engine speed and the L1 filter fast path payoff.
+
+Tracks the simulator's hot path — `sim::MemorySystem::access` under
+`sim::Engine` — in BENCH_engine.json, the cycles/sec companion to
+BENCH_sweep.json's orchestration numbers:
+
+  * pinned micro_sim_primitives workloads (google-benchmark JSON):
+    BM_L1HitSequential (8-byte sequential walk over an L1-resident
+    buffer, the hit-heavy access mix the filter exists for) and
+    BM_EngineStepOverhead (same-line walker, the filter's best case),
+    each with MachineConfig::l1_filter off (/0) vs on (/1). Every access
+    in these workloads is an L1 hit and advances simulated time by
+    exactly l1_latency cycles, so simulated cycles/sec is
+    accesses/sec x l1_latency.
+  * the fig9 smoke sweep end to end, fast path off vs on, with a
+    byte-compare of the emitted tables: the filter is a host-speed knob
+    only, so the figure output must be identical to the last byte.
+
+Usage:
+  scripts/bench_engine.py --build build/release [--out BENCH_engine.json]
+
+Exit status: 0 on success (a sub-2x speedup is recorded in the JSON, not
+fatal — CI wires this step non-blocking), 1 when a run fails or the fig9
+outputs differ across the toggle (that is a correctness bug; the
+blocking smoke.fig9_filter_identity ctest entry guards it too).
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import time
+
+# The Xeon20MB preset's L1 latency: geometry-preserving scaling keeps it,
+# and both pinned micro workloads are 100% L1 hits.
+L1_LATENCY_CYCLES = 4
+
+MICRO_FILTER = "BM_L1HitSequential|BM_EngineStepOverhead"
+FIG9_ARGS = [
+    "--scale", "64", "--ranks", "8", "--steps", "1", "--quick",
+    "--max-cs", "1", "--max-bw", "1",
+]
+
+
+def run_micro(binary):
+    proc = subprocess.run(
+        [str(binary), f"--benchmark_filter={MICRO_FILTER}",
+         "--benchmark_format=json"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        raise RuntimeError(f"micro benchmarks failed ({proc.returncode})")
+    per_name = {
+        b["name"]: b["items_per_second"]
+        for b in json.loads(proc.stdout)["benchmarks"]
+        if "items_per_second" in b
+    }
+    out = {}
+    for stem in ("BM_L1HitSequential", "BM_EngineStepOverhead"):
+        off, on = per_name[f"{stem}/0"], per_name[f"{stem}/1"]
+        out[stem] = {
+            "accesses_per_second_filter_off": round(off),
+            "accesses_per_second_filter_on": round(on),
+            "sim_cycles_per_second_filter_off": round(off * L1_LATENCY_CYCLES),
+            "sim_cycles_per_second_filter_on": round(on * L1_LATENCY_CYCLES),
+            "filter_speedup": round(on / off, 3),
+        }
+    return out
+
+
+def run_fig9(binary, l1_filter):
+    cmd = [str(binary), *FIG9_ARGS, "--l1-filter", l1_filter]
+    t0 = time.monotonic()
+    proc = subprocess.run(cmd, capture_output=True)
+    wall = time.monotonic() - t0
+    if proc.returncode != 0:
+        print(proc.stderr.decode(errors="replace"), file=sys.stderr)
+        raise RuntimeError(
+            f"fig9 --l1-filter {l1_filter} failed ({proc.returncode})")
+    return wall, proc.stdout
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", default="build/release",
+                    help="build tree holding micro_sim_primitives and fig9")
+    ap.add_argument("--out", default="BENCH_engine.json")
+    args = ap.parse_args()
+
+    build = pathlib.Path(args.build)
+    micro = build / "bench" / "micro_sim_primitives"
+    fig9 = build / "bench" / "fig9_mcb_degradation"
+    if not fig9.exists():
+        sys.exit(f"missing binary: {fig9} (build the tree first)")
+
+    report = {
+        "benchmark": "engine hot path: L1 filter fast path off vs on",
+        "l1_latency_cycles": L1_LATENCY_CYCLES,
+        "fig9_args": " ".join(FIG9_ARGS),
+    }
+    try:
+        if micro.exists():
+            report["micro"] = run_micro(micro)
+        else:
+            # google-benchmark is optional at build time; the fig9 sweep
+            # below still tracks the end-to-end trajectory.
+            report["micro"] = None
+            print(f"note: {micro} not built, skipping micro workloads",
+                  file=sys.stderr)
+        wall_off, out_off = run_fig9(fig9, "false")
+        wall_on, out_on = run_fig9(fig9, "true")
+    except RuntimeError as err:
+        sys.exit(str(err))
+
+    report["fig9_smoke"] = {
+        "wall_seconds_filter_off": round(wall_off, 3),
+        "wall_seconds_filter_on": round(wall_on, 3),
+        "filter_speedup": round(wall_off / wall_on, 3) if wall_on > 0 else None,
+        "output_identical": out_off == out_on,
+    }
+    if report["micro"]:
+        hit_heavy = report["micro"]["BM_L1HitSequential"]["filter_speedup"]
+        report["hit_heavy_filter_speedup_ge_2x"] = hit_heavy >= 2.0
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["fig9_smoke"]["output_identical"]:
+        sys.exit("fig9 output differs across the --l1-filter toggle: "
+                 "the fast path changed simulated results")
+
+
+if __name__ == "__main__":
+    main()

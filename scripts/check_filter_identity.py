@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Byte-compare a bench driver's output across the L1 filter toggle.
+
+Runs the given driver command twice — `--l1-filter false` appended, then
+`--l1-filter true` — and fails unless both exit 0 and their stdout is
+byte-identical. The filter fast path (MachineConfig::l1_filter) is a pure
+host-speed optimization, so any divergence in the emitted tables is a
+correctness bug in the filter's coherence hooks. Registered as the
+blocking `smoke.fig9_filter_identity` ctest entry; sim-layer state-level
+identity is covered by tests/sim/filter_identity_test.cpp.
+
+Usage: scripts/check_filter_identity.py <driver> [driver args...]
+"""
+
+import subprocess
+import sys
+
+
+def run(flag):
+    cmd = [*sys.argv[1:], "--l1-filter", flag]
+    proc = subprocess.run(cmd, capture_output=True)
+    if proc.returncode != 0:
+        print(proc.stderr.decode(errors="replace"), file=sys.stderr)
+        sys.exit(f"--l1-filter {flag} run failed ({proc.returncode})")
+    return proc.stdout
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    off = run("false")
+    on = run("true")
+    if on != off:
+        for lineno, (a, b) in enumerate(
+                zip(off.splitlines(), on.splitlines()), 1):
+            if a != b:
+                print(f"first divergence at stdout line {lineno}:",
+                      file=sys.stderr)
+                print(f"  filter off: {a!r}", file=sys.stderr)
+                print(f"  filter on:  {b!r}", file=sys.stderr)
+                break
+        sys.exit("output differs across the --l1-filter toggle "
+                 f"({len(off)} vs {len(on)} bytes)")
+    print(f"filter identity OK ({len(on)} bytes, bit-identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Fail on broken intra-repo markdown links.
+"""Fail on broken intra-repo markdown links and heading anchors.
 
 Scans every tracked *.md file for inline links/images `[text](target)` and
 reference definitions `[id]: target`, and verifies that relative targets
-exist in the working tree. External schemes (http/https/mailto) and pure
-in-page anchors (#...) are skipped; a `path#anchor` target only checks the
-path. Exit code 1 lists every broken link as file:line.
+exist in the working tree. External schemes (http/https/mailto) are
+skipped. Anchor fragments are validated against GitHub-style heading
+slugs: an in-page `#anchor` must match a heading in the same file, and a
+`path.md#anchor` must match a heading in the linked file. Exit code 1
+lists every broken link/anchor as file:line.
 
 Usage: scripts/check_markdown_links.py [root-dir]
 """
@@ -15,6 +17,10 @@ import sys
 
 INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+FENCE = re.compile(r"^\s*(```|~~~)")
+# Inline markup stripped before slugging: `code`, **bold**, *em*, [text](url).
+MARKUP = re.compile(r"`([^`]*)`|\*\*([^*]*)\*\*|\*([^*]*)\*|\[([^\]]*)\]\([^)]*\)")
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
 SKIP_DIRS = {".git", "build", ".cache"}
 
@@ -35,30 +41,75 @@ def targets(line):
         yield match.group(1)
 
 
+def slugify(heading):
+    """GitHub's heading -> anchor rule: strip markup, lowercase, drop
+    punctuation except hyphens/underscores, spaces become hyphens."""
+    text = MARKUP.sub(lambda m: next(g for g in m.groups() if g is not None),
+                      heading)
+    text = text.strip().lower().replace(" ", "-")
+    return re.sub(r"[^\w\-]", "", text)
+
+
+def file_anchors(path, cache):
+    """Set of valid anchors in a markdown file (duplicate headings get
+    -1, -2, ... suffixes, as on GitHub). Cached per path."""
+    if path in cache:
+        return cache[path]
+    anchors, counts = set(), {}
+    in_fence = False
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                if FENCE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                match = HEADING.match(line)
+                if not match:
+                    continue
+                slug = slugify(match.group(1))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                anchors.add(slug if n == 0 else f"{slug}-{n}")
+    except OSError:
+        pass
+    cache[path] = anchors
+    return anchors
+
+
 def main():
     root = sys.argv[1] if len(sys.argv) > 1 else "."
     broken = []
+    anchor_cache = {}
     for path in sorted(markdown_files(root)):
         base = os.path.dirname(path)
         with open(path, encoding="utf-8") as handle:
             for lineno, line in enumerate(handle, 1):
                 for target in targets(line):
-                    if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    if target.startswith(SKIP_SCHEMES):
                         continue
-                    target_path = target.split("#", 1)[0]
-                    if not target_path:
-                        continue
-                    resolved = (
-                        os.path.join(root, target_path.lstrip("/"))
-                        if target_path.startswith("/")
-                        else os.path.join(base, target_path)
-                    )
-                    if not os.path.exists(resolved):
-                        broken.append(f"{path}:{lineno}: broken link -> {target}")
+                    target_path, _, anchor = target.partition("#")
+                    if target_path:
+                        resolved = (
+                            os.path.join(root, target_path.lstrip("/"))
+                            if target_path.startswith("/")
+                            else os.path.join(base, target_path)
+                        )
+                        if not os.path.exists(resolved):
+                            broken.append(
+                                f"{path}:{lineno}: broken link -> {target}")
+                            continue
+                    else:
+                        resolved = path  # pure in-page anchor
+                    if anchor and resolved.lower().endswith(".md"):
+                        if anchor not in file_anchors(resolved, anchor_cache):
+                            broken.append(
+                                f"{path}:{lineno}: broken anchor -> {target}")
     for entry in broken:
         print(entry)
     if broken:
-        print(f"{len(broken)} broken intra-repo markdown link(s)")
+        print(f"{len(broken)} broken intra-repo markdown link(s)/anchor(s)")
         return 1
     print("markdown links OK")
     return 0

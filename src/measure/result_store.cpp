@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -478,11 +479,15 @@ std::function<void(const ResultStore&)> ResultStoreFile::checkpointer(
   if (path_.empty()) return nullptr;
   using Clock = std::chrono::steady_clock;
   // Shared across std::function copies so every copy honors one throttle.
-  // Epoch-initialized: the first completed point always reaches disk.
-  auto last = std::make_shared<Clock::time_point>();
+  // `nullopt` = never saved: the first completed point always reaches disk.
+  // (An epoch-initialized time_point would not do — steady_clock counts
+  // from boot, so on a host up for less than the interval the first save
+  // would be wrongly throttled away.)
+  auto last = std::make_shared<std::optional<Clock::time_point>>();
   return [path = path_, min_interval_seconds, last](const ResultStore& store) {
     const auto now = Clock::now();
-    if (now - *last < std::chrono::duration<double>(min_interval_seconds))
+    if (*last &&
+        now - **last < std::chrono::duration<double>(min_interval_seconds))
       return;
     *last = now;
     store.save(path);

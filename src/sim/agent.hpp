@@ -21,8 +21,14 @@ class AgentContext {
   AgentContext(Engine& engine, std::size_t agent_index)
       : engine_(&engine), index_(agent_index) {}
 
+  /// The agent's local clock, in simulated cycles. Every operation below
+  /// advances it; agents on other cores may be ahead or behind.
   Cycles now() const;
+  /// The core this agent was pinned to by Engine::add_agent.
   CoreId core() const;
+  /// The agent's private deterministic random stream (seeded from the
+  /// engine seed and the agent index, never from other agents' draws) —
+  /// the only randomness an agent may use if runs are to be reproducible.
   Rng& rng();
   Engine& engine() { return *engine_; }
   std::size_t agent_index() const { return index_; }
@@ -30,12 +36,14 @@ class AgentContext {
   /// Pure computation for `cycles` cycles.
   void compute(Cycles cycles);
 
-  /// Dependent (serialized) memory operations.
+  /// Dependent (serialized) memory operations: each access starts only
+  /// when the previous one has completed.
   void load(Addr addr);
   void store(Addr addr);
 
   /// Independent memory operations that may overlap in the memory system
-  /// (bounded by the machine's line-fill-buffer count).
+  /// (bounded by the machine's line-fill-buffer count). The clock advances
+  /// to the completion of the slowest access in the batch.
   void load_batch(std::span<const Addr> addrs);
   void store_batch(std::span<const Addr> addrs);
 
@@ -44,6 +52,11 @@ class AgentContext {
   std::size_t index_;
 };
 
+/// Base class for everything that executes on a simulated core. Contract:
+/// `step` must be deterministic given the context (use `ctx.rng()`, never
+/// external randomness or host state), and agents are engine-owned and
+/// non-copyable — shared resources they reference should be kept alive via
+/// Engine::own.
 class Agent {
  public:
   explicit Agent(std::string name) : name_(std::move(name)) {}

@@ -8,14 +8,23 @@
 
 namespace am::sim {
 
+/// Occupancy model, not a queue of objects: the channel only remembers
+/// when it next becomes free (`busy_until`), and transfers are served in
+/// call order. Callers need not present monotonically increasing `now`
+/// values — a transfer requested in the channel's past simply starts at
+/// max(now, busy_until) — but call *order* is part of the deterministic
+/// simulation state.
 class BandwidthChannel {
  public:
-  /// bytes_per_cycle: peak bandwidth. latency_cycles: propagation latency
+  /// bytes_per_cycle: peak bandwidth (must be > 0; throws
+  /// std::invalid_argument otherwise). latency_cycles: propagation latency
   /// added after the transfer completes (DRAM access / link latency).
   BandwidthChannel(double bytes_per_cycle, Cycles latency_cycles);
 
   /// Schedules a transfer of `bytes` requested at time `now`; returns the
-  /// completion time (queueing + occupancy + latency).
+  /// completion time (queueing + occupancy + latency). Occupancy is
+  /// ceil(bytes / bytes_per_cycle) cycles, so even a 1-byte transfer
+  /// occupies the channel for a full cycle.
   Cycles transfer(Cycles now, std::uint64_t bytes);
 
   /// Schedules a transfer that nobody waits on (write-backs, prefetches):
@@ -30,7 +39,8 @@ class BandwidthChannel {
   Cycles busy_until() const { return busy_until_; }
   double bytes_per_cycle() const { return bytes_per_cycle_; }
 
-  /// Average utilization over [0, now]: busy cycles / now.
+  /// Average utilization over [0, now]: busy cycles / now, clamped to 1.0
+  /// (scheduled-ahead work can exceed `now`). 0.0 when now == 0.
   double utilization(Cycles now) const;
 
   void reset_stats() { total_bytes_ = 0; busy_cycles_ = 0; }

@@ -22,6 +22,7 @@ Cache::Cache(CacheConfig config) : config_(std::move(config)) {
   num_sets_ = config_.num_sets();
   set_mask_ = (num_sets_ & (num_sets_ - 1)) == 0 ? num_sets_ - 1 : 0;
   lines_.resize(config_.num_lines());
+  if (config_.filter) filter_.resize(num_sets_);
 }
 
 std::size_t Cache::set_base(Addr line_addr) const {
@@ -45,6 +46,7 @@ Cache::AccessOutcome Cache::access(Addr line_addr, std::uint16_t owner,
       line.sharers |= sharer_bit;
       line.dirty |= is_store;
       out.hit = true;
+      filter_update(line_addr, i);
       return out;
     }
     if (!line.valid) {
@@ -70,6 +72,9 @@ Cache::AccessOutcome Cache::access(Addr line_addr, std::uint16_t owner,
       stamp_ > config_.insert_age ? stamp_ - config_.insert_age : 0;
   line = Line{line_addr, insert_stamp, sharer_bit, owner, /*valid=*/true,
               /*dirty=*/is_store};
+  // The victim and the fill share a set, so this also unmaps a victim that
+  // happened to be the set's filter entry.
+  filter_update(line_addr, victim);
   return out;
 }
 
@@ -108,6 +113,7 @@ bool Cache::invalidate(Addr line_addr) {
     if (line.valid && line.tag == line_addr) {
       const bool dirty = line.dirty;
       line = Line{};
+      filter_drop(line_addr);
       return dirty;
     }
   }
@@ -116,6 +122,7 @@ bool Cache::invalidate(Addr line_addr) {
 
 void Cache::flush() {
   for (auto& line : lines_) line = Line{};
+  for (auto& slot : filter_) slot = FilterSlot{};
 }
 
 std::uint64_t Cache::occupancy_lines(std::uint16_t owner) const {

@@ -33,6 +33,13 @@ struct CacheConfig {
   /// see bench/abl_insertion for the policy tradeoff.
   std::uint64_t insert_age = 0;
   Replacement replacement = Replacement::kLru;
+  /// Enables the filter fast path (see Cache::try_fast_hit): a flat
+  /// one-entry-per-set MRU tag array resolving repeat hits with a single
+  /// compare, zsim-filter-cache style. Pure host-speed knob — simulated
+  /// state and every outcome stay bit-identical (see
+  /// tests/sim/filter_identity_test.cpp); excluded from
+  /// measure::machine_fingerprint so result-store keys never depend on it.
+  bool filter = false;
 
   std::uint64_t num_lines() const { return size_bytes / line_bytes; }
   std::uint64_t num_sets() const { return num_lines() / ways; }
@@ -58,6 +65,30 @@ class Cache {
   /// private caches may hold copies).
   AccessOutcome access(Addr line_addr, std::uint16_t owner,
                        std::uint32_t sharer_bit = 0, bool is_store = false);
+
+  /// Filter fast path: when `config().filter` is set, resolves an access
+  /// that hits the set's most-recently-accessed line with one tag compare,
+  /// applying exactly the state updates a hit in access() would (LRU stamp
+  /// advance, sharer-mask OR, dirty-bit OR) so both paths are
+  /// bit-identical. Returns false when the filter is disabled or the MRU
+  /// line does not match; the caller must then fall through to access(),
+  /// which refreshes the filter. Hits never evict, so there is no outcome
+  /// to report.
+  bool try_fast_hit(Addr line_addr, std::uint32_t sharer_bit, bool is_store) {
+    if (filter_.empty()) return false;
+    const std::uint64_t set =
+        set_mask_ ? (line_addr & set_mask_) : (line_addr % num_sets_);
+    const FilterSlot slot = filter_[set];
+    if (slot.tag != line_addr) return false;
+    Line& line = lines_[slot.line_index];
+    line.stamp = ++stamp_;
+    line.sharers |= sharer_bit;
+    line.dirty |= is_store;
+    return true;
+  }
+
+  /// True when this cache was built with the filter fast path enabled.
+  bool filter_enabled() const { return !filter_.empty(); }
 
   /// True if the line is present (no replacement state update).
   bool contains(Addr line_addr) const;
@@ -93,7 +124,30 @@ class Cache {
     bool dirty = false;
   };
 
+  /// One filter entry per set: the set's most-recently-accessed line and
+  /// its position in lines_. `kNoLine` marks an empty slot (line addresses
+  /// are byte addresses >> line shift, so the all-ones tag is unreachable).
+  struct FilterSlot {
+    Addr tag = kNoLine;
+    std::uint32_t line_index = 0;
+  };
+  static constexpr Addr kNoLine = ~Addr{0};
+
   std::size_t set_base(Addr line_addr) const;
+  /// Points the set's filter slot at lines_[index] (no-op when disabled).
+  void filter_update(Addr line_addr, std::size_t index) {
+    if (filter_.empty()) return;
+    const std::uint64_t set =
+        set_mask_ ? (line_addr & set_mask_) : (line_addr % num_sets_);
+    filter_[set] = {line_addr, static_cast<std::uint32_t>(index)};
+  }
+  /// Clears the set's filter slot if it names `line_addr` (invalidation).
+  void filter_drop(Addr line_addr) {
+    if (filter_.empty()) return;
+    const std::uint64_t set =
+        set_mask_ ? (line_addr & set_mask_) : (line_addr % num_sets_);
+    if (filter_[set].tag == line_addr) filter_[set] = FilterSlot{};
+  }
 
   CacheConfig config_;
   Rng victim_rng_{0x51ed270b7a64e5c4ull};  // deterministic random policy
@@ -101,6 +155,7 @@ class Cache {
   std::uint64_t set_mask_;   // num_sets-1 when power of two, else 0
   std::uint64_t stamp_ = 0;  // per-cache logical clock for LRU
   std::vector<Line> lines_;  // ways contiguous per set
+  std::vector<FilterSlot> filter_;  // one per set; empty = filter disabled
 };
 
 }  // namespace am::sim

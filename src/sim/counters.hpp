@@ -7,6 +7,11 @@
 
 namespace am::sim {
 
+/// Plain aggregable event counts (operator+= sums field-wise; totals over
+/// cores/sockets are built that way). The architectural fields — everything
+/// up to stall_cycles — are part of the determinism contract: equal
+/// (MachineConfig, seed, agents) runs produce equal counts, and the
+/// ResultStore record format serializes exactly that field set.
 struct Counters {
   std::uint64_t loads = 0;
   std::uint64_t stores = 0;
@@ -20,6 +25,14 @@ struct Counters {
   std::uint64_t bytes_from_mem = 0;    // demand + prefetch fills
   std::uint64_t compute_cycles = 0;
   std::uint64_t stall_cycles = 0;
+
+  /// Host-speed diagnostics for the L1 filter fast path
+  /// (MachineConfig::l1_filter), not architectural events: they depend on
+  /// the toggle (both are 0 when it is off) while every counter above is
+  /// bit-identical across it. Deliberately excluded from the ResultStore
+  /// record format and record equality for that reason.
+  std::uint64_t l1_filter_hits = 0;          // L1 hits resolved by the filter
+  std::uint64_t l1_filter_fallthroughs = 0;  // filter misses → full L1 walk
 
   std::uint64_t accesses() const { return loads + stores; }
 
@@ -56,6 +69,8 @@ struct Counters {
     bytes_from_mem += o.bytes_from_mem;
     compute_cycles += o.compute_cycles;
     stall_cycles += o.stall_cycles;
+    l1_filter_hits += o.l1_filter_hits;
+    l1_filter_fallthroughs += o.l1_filter_fallthroughs;
     return *this;
   }
 };

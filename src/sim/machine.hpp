@@ -50,6 +50,17 @@ struct MachineConfig {
   /// private-cache lines. 0 disables the hint.
   std::uint32_t l3_hint_interval = 16;
 
+  /// Enables the L1 filter fast path (zsim-filter-cache style): each
+  /// private L1 fronts its set-associative array with a flat
+  /// one-entry-per-set MRU tag array, so the dominant repeat-hit case is
+  /// resolved with a single compare instead of the full hierarchy-walk
+  /// call chain (see docs/PERFORMANCE.md). Pure host-speed knob, default
+  /// on: simulated timing, counters and evictions are bit-identical with
+  /// it off (asserted by sim.filter_identity_test and the fig9 smoke
+  /// byte-compare), and measure::machine_fingerprint deliberately
+  /// excludes it so result-store keys are stable across the toggle.
+  bool l1_filter = true;
+
   PrefetcherConfig prefetcher;
 
   std::uint32_t total_sockets() const { return nodes * sockets_per_node; }

@@ -13,6 +13,9 @@ MemorySystem::MemorySystem(MachineConfig config) : config_(std::move(config)) {
     throw std::invalid_argument("line size must be a power of two");
   line_shift_ = std::countr_zero(
       static_cast<std::uint64_t>(config_.l1.line_bytes));
+  // The machine-level toggle reaches the private L1s here; L2/L3 stay on
+  // the plain associative path (their access rates are too low to matter).
+  config_.l1.filter = config_.l1_filter;
 
   const auto cores = config_.total_cores();
   const auto sockets = config_.total_sockets();
@@ -31,6 +34,7 @@ MemorySystem::MemorySystem(MachineConfig config) : config_(std::move(config)) {
         config_.link_bytes_per_cycle(), /*latency=*/0));
   counters_.resize(cores);
   hint_countdown_.assign(cores, config_.l3_hint_interval);
+  batch_window_.reserve(config_.max_outstanding_misses);
 }
 
 Addr MemorySystem::alloc(std::uint64_t bytes, std::uint64_t align) {
@@ -106,8 +110,8 @@ void MemorySystem::issue_prefetches(CoreId core, Addr miss_line, Cycles now) {
   }
 }
 
-AccessResult MemorySystem::access(CoreId core, Addr addr, AccessKind kind,
-                                  Cycles now) {
+AccessResult MemorySystem::access_slow(CoreId core, Addr addr, AccessKind kind,
+                                       Cycles now) {
   const Addr line = addr >> line_shift_;
   const bool is_store = kind == AccessKind::kStore;
   const std::uint32_t socket = config_.socket_of(core);
@@ -116,6 +120,7 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, AccessKind kind,
     ++ctr.stores;
   else
     ++ctr.loads;
+  if (config_.l1_filter) ++ctr.l1_filter_fallthroughs;
 
   // L1. Cache::access is probe-and-insert: a miss here already fills the
   // line, so only the victim needs handling.
@@ -169,8 +174,10 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, AccessKind kind,
 Cycles MemorySystem::access_batch(CoreId core, std::span<const Addr> addrs,
                                   AccessKind kind, Cycles now) {
   // Sliding window of outstanding miss completions (line-fill buffers).
-  std::vector<Cycles> window;
-  window.reserve(config_.max_outstanding_misses);
+  // Member buffer: batches are issued per agent step, so a per-call
+  // vector would put an allocation on the engine's hottest loop.
+  std::vector<Cycles>& window = batch_window_;
+  window.clear();
   Cycles last = now;
   for (Addr addr : addrs) {
     Cycles issue = now;

@@ -28,7 +28,30 @@ class MemorySystem {
 
   /// One demand access issued at `now`; walks L1→L2→L3→DRAM, updates
   /// counters of `core`, trains the prefetcher, maintains L3 inclusivity.
-  AccessResult access(CoreId core, Addr addr, AccessKind kind, Cycles now);
+  ///
+  /// Inline fast path: when the L1 filter resolves the access (the common
+  /// case on hit-heavy workloads, see MachineConfig::l1_filter), only the
+  /// counters/L3-hint bookkeeping below runs — state updates and results
+  /// are bit-identical to the full walk in access_slow().
+  AccessResult access(CoreId core, Addr addr, AccessKind kind, Cycles now) {
+    const Addr line = addr >> line_shift_;
+    const bool is_store = kind == AccessKind::kStore;
+    if (l1_[core]->try_fast_hit(line, 0, is_store)) {
+      Counters& ctr = counters_[core];
+      if (is_store)
+        ++ctr.stores;
+      else
+        ++ctr.loads;
+      ++ctr.l1_hits;
+      ++ctr.l1_filter_hits;
+      if (config_.l3_hint_interval != 0 && --hint_countdown_[core] == 0) {
+        hint_countdown_[core] = config_.l3_hint_interval;
+        l3_[config_.socket_of(core)]->touch(line);
+      }
+      return {now + config_.l1_latency, Level::kL1};
+    }
+    return access_slow(core, addr, kind, now);
+  }
 
   /// A batch of *independent* accesses issued together at `now`, modelling
   /// memory-level parallelism: up to config.max_outstanding_misses DRAM
@@ -67,6 +90,10 @@ class MemorySystem {
   void flush_caches();
 
  private:
+  /// The full L1→L2→L3→DRAM walk behind access(): every path the filter
+  /// could not short-circuit (L1 filter miss, any deeper hit or miss).
+  AccessResult access_slow(CoreId core, Addr addr, AccessKind kind,
+                           Cycles now);
   /// Propagates a dirty private victim's state down the hierarchy.
   void handle_private_eviction(CoreId core, const Cache::AccessOutcome& out,
                                bool from_l1);
@@ -89,6 +116,7 @@ class MemorySystem {
   std::vector<Counters> counters_;                              // per core
   std::vector<std::uint32_t> hint_countdown_;                   // per core
   std::vector<Addr> prefetch_buf_;
+  std::vector<Cycles> batch_window_;  // access_batch miss-completion window
   Addr next_alloc_ = 1 << 16;
 };
 

@@ -30,12 +30,20 @@ struct PrefetcherConfig {
   bool enabled = true;
 };
 
+/// Tracks up to `num_streams` candidate miss streams (LRU-allocated) and
+/// emits prefetch targets once a stream has repeated its stride
+/// `confirm_threshold` times. Fully deterministic — no RNG, state advances
+/// only through on_miss — so traces replay identically. The caller (the
+/// memory system) owns issuing the returned addresses and charging their
+/// bandwidth.
 class StreamPrefetcher {
  public:
   explicit StreamPrefetcher(PrefetcherConfig config);
 
-  /// Observes a demand miss at `line_addr`; appends up to `degree` line
-  /// addresses to `out` that should be prefetched.
+  /// Observes a demand miss at `line_addr` (line-address space); appends
+  /// up to `degree` prefetch candidates to `out` — which is not cleared —
+  /// when the miss continues a confirmed stream. Candidates never cross
+  /// the miss's `page_lines` boundary. No-op when config.enabled is false.
   void on_miss(Addr line_addr, std::vector<Addr>& out);
 
   std::uint64_t streams_confirmed() const { return confirmed_; }

@@ -13,6 +13,8 @@
 
 namespace am::sim {
 
+/// One captured access: byte address, load/store, and the compute gap
+/// that followed it.
 struct TraceRecord {
   Addr addr = 0;
   AccessKind kind = AccessKind::kLoad;
@@ -39,9 +41,14 @@ class TraceBuffer {
   void clear() { records_.clear(); }
 
   /// Line-granular addresses of the trace (for stack-distance analysis).
+  /// Throws std::invalid_argument when line_bytes is 0.
   std::vector<Addr> line_addresses(std::uint32_t line_bytes) const;
 
-  /// Binary round-trip; format: u64 count, then packed records.
+  /// Binary round-trip; format: u64 count, then packed host-endian
+  /// records (a cache/replay format, not a portable interchange one).
+  /// save returns false on any I/O failure; load throws std::runtime_error
+  /// on a missing or truncated file. load(p) after save(p) reproduces the
+  /// buffer exactly.
   bool save(const std::string& path) const;
   static TraceBuffer load(const std::string& path);  // throws on error
 
