@@ -76,6 +76,11 @@ struct BenchContext {
 /// --full (paper-size machine), --nodes, --csv path, --seed,
 /// --l1-filter true|false (the engine's L1 filter fast path, default on —
 /// a host-speed knob whose outputs are bit-identical either way),
+/// --mem-backend channel|banked|ddr4|hbm (memory model below the L3, see
+/// sim::apply_mem_backend — unlike --l1-filter this changes results and
+/// store keys) with banked-DRAM overrides --dram-channels, --dram-banks,
+/// --dram-row-bytes, --dram-refresh-interval and --dram-refresh-cycles
+/// (cycles; applied after the preset, validated together),
 /// --results-dir DIR (persistent result store), --shard i/n (static
 /// slice), --lease FILE (dynamic lease-worker mode), --emit-plan FILE
 /// (scheduler probe). The three scheduling flags are mutually exclusive
@@ -91,6 +96,22 @@ inline BenchContext make_context(const Cli& cli,
   ctx.machine = sim::MachineConfig::xeon20mb_scaled(
       ctx.scale, static_cast<std::uint32_t>(cli.get_int("nodes", nodes)));
   ctx.machine.l1_filter = cli.get_bool("l1-filter", true);
+  sim::apply_mem_backend(ctx.machine, cli.get("mem-backend", "channel"));
+  {
+    auto& d = ctx.machine.dram;
+    auto u32 = [&](const char* flag, std::uint32_t cur) {
+      return static_cast<std::uint32_t>(
+          cli.get_int(flag, static_cast<std::int64_t>(cur)));
+    };
+    d.channels = u32("dram-channels", d.channels);
+    d.banks = u32("dram-banks", d.banks);
+    d.row_bytes = u32("dram-row-bytes", d.row_bytes);
+    d.refresh_interval = static_cast<sim::Cycles>(cli.get_int(
+        "dram-refresh-interval", static_cast<std::int64_t>(d.refresh_interval)));
+    d.refresh_cycles = static_cast<sim::Cycles>(cli.get_int(
+        "dram-refresh-cycles", static_cast<std::int64_t>(d.refresh_cycles)));
+    ctx.machine.validate();
+  }
   ctx.csv_path = cli.get("csv", "");
   ctx.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   ctx.results_dir = cli.get("results-dir", "");

@@ -68,6 +68,32 @@ void BM_HierarchyWalkRandom(benchmark::State& state) {
 }
 BENCHMARK(BM_HierarchyWalkRandom)->Args({16, 0})->Args({16, 1})->Args({1, 0});
 
+// The memory-backend-path workload tracked by scripts/bench_engine.py:
+// a 64-byte-strided walk over a buffer 8x the (scaled) L3, so nearly every
+// access misses through to the backend — host cost is dominated by the
+// hierarchy walk plus the backend's scheduling arithmetic, which is what
+// the banked model adds. Arg: MachineConfig::mem_backend, channel (0) /
+// banked ddr4 (1).
+void BM_DramBoundStream(benchmark::State& state) {
+  auto cfg = am::sim::MachineConfig::xeon20mb_scaled(16);
+  if (state.range(0) != 0) am::sim::apply_mem_backend(cfg, "ddr4");
+  am::sim::MemorySystem ms(cfg);
+  const std::uint64_t bytes = cfg.l3.size_bytes * 8;
+  const std::uint64_t lines = bytes / 64;
+  const am::sim::Addr base = ms.alloc(bytes);
+  am::sim::Cycles now = 0;
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    const auto res = ms.access(0, base + line * 64,
+                               am::sim::AccessKind::kLoad, now);
+    now = res.complete;
+    line = (line + 1) % lines;
+    benchmark::DoNotOptimize(res.complete);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramBoundStream)->Arg(0)->Arg(1);
+
 void BM_DistributionSample(benchmark::State& state) {
   const auto dists = am::model::AccessDistribution::table2(1 << 20);
   const auto& dist = dists[static_cast<std::size_t>(state.range(0))];

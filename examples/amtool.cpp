@@ -35,6 +35,7 @@ Setup make_setup(const am::Cli& cli, std::uint32_t nodes) {
   Setup s;
   s.scale = static_cast<std::uint32_t>(cli.get_int("scale", 16));
   s.machine = am::sim::MachineConfig::xeon20mb_scaled(s.scale, nodes);
+  am::sim::apply_mem_backend(s.machine, cli.get("mem-backend", "channel"));
   s.cs.buffer_bytes = std::max<std::uint64_t>(4096, 4ull * 1024 * 1024 / s.scale);
   s.bw.buffer_bytes = std::max<std::uint64_t>(4096, 520ull * 1024 / s.scale);
   return s;

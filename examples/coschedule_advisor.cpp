@@ -60,7 +60,8 @@ int advise(const am::Cli& cli) {
   if (cli.get_bool("worker", false))
     heartbeat.emplace(lease.empty() ? store.path() + ".hb"
                                     : am::lease_heartbeat_path(lease));
-  const auto machine = am::sim::MachineConfig::xeon20mb_scaled(kScale);
+  auto machine = am::sim::MachineConfig::xeon20mb_scaled(kScale);
+  am::sim::apply_mem_backend(machine, cli.get("mem-backend", "channel"));
   am::interfere::CSThrConfig cs;
   cs.buffer_bytes = 4ull * 1024 * 1024 / kScale;
   am::interfere::BWThrConfig bw;

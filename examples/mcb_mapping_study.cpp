@@ -48,8 +48,11 @@ int study(const am::Cli& cli) {
     heartbeat.emplace(lease.empty()
                           ? store.path() + ".hb"
                           : am::lease_heartbeat_path(lease));
-  const auto machine =
+  auto machine =
       am::sim::MachineConfig::xeon20mb_scaled(kScale, /*nodes=*/12);
+  // The backend is part of the machine fingerprint (when not the default
+  // channel), so banked runs cache under their own store keys.
+  am::sim::apply_mem_backend(machine, cli.get("mem-backend", "channel"));
   am::interfere::CSThrConfig cs;
   cs.buffer_bytes = 4ull * 1024 * 1024 / kScale;
 

@@ -23,7 +23,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(cli.get_int("scale", 16));
   const auto accesses =
       static_cast<std::uint64_t>(cli.get_int("accesses", 200'000));
-  const auto machine = am::sim::MachineConfig::xeon20mb_scaled(scale);
+  auto machine = am::sim::MachineConfig::xeon20mb_scaled(scale);
+  // Optional: swap the memory model under the whole measurement
+  // (--mem-backend channel|banked|ddr4|hbm).
+  am::sim::apply_mem_backend(machine, cli.get("mem-backend", "channel"));
 
   am::interfere::CSThrConfig cs;
   cs.buffer_bytes = 4ull * 1024 * 1024 / scale;

@@ -12,7 +12,9 @@ BENCH_sweep.json's orchestration numbers:
     each with MachineConfig::l1_filter off (/0) vs on (/1). Every access
     in these workloads is an L1 hit and advances simulated time by
     exactly l1_latency cycles, so simulated cycles/sec is
-    accesses/sec x l1_latency.
+    accesses/sec x l1_latency. BM_DramBoundStream (L3-miss-heavy
+    stream) additionally tracks backend-path throughput: channel pipe
+    (/0) vs banked ddr4 backend (/1), reported as `banked_cost`.
   * the fig9 smoke sweep end to end, fast path off vs on, with a
     byte-compare of the emitted tables: the filter is a host-speed knob
     only, so the figure output must be identical to the last byte.
@@ -37,7 +39,7 @@ import time
 # and both pinned micro workloads are 100% L1 hits.
 L1_LATENCY_CYCLES = 4
 
-MICRO_FILTER = "BM_L1HitSequential|BM_EngineStepOverhead"
+MICRO_FILTER = "BM_L1HitSequential|BM_EngineStepOverhead|BM_DramBoundStream"
 FIG9_ARGS = [
     "--scale", "64", "--ranks", "8", "--steps", "1", "--quick",
     "--max-cs", "1", "--max-bw", "1",
@@ -67,6 +69,17 @@ def run_micro(binary):
             "sim_cycles_per_second_filter_on": round(on * L1_LATENCY_CYCLES),
             "filter_speedup": round(on / off, 3),
         }
+    # Backend-path throughput: an L3-miss-heavy stream under the channel
+    # pipe (/0) vs the banked ddr4 backend (/1). banked_cost < 1 is the
+    # banked model's host-speed price per DRAM-bound access; tracked so a
+    # backend change that quietly slows the default path shows up here.
+    channel = per_name["BM_DramBoundStream/0"]
+    banked = per_name["BM_DramBoundStream/1"]
+    out["BM_DramBoundStream"] = {
+        "accesses_per_second_channel": round(channel),
+        "accesses_per_second_banked": round(banked),
+        "banked_cost": round(banked / channel, 3),
+    }
     return out
 
 

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Byte-compare a bench driver's output against a pre-refactor golden file.
+
+Runs the given driver command twice — once with no backend flag (the
+default must BE the channel backend) and once with `--mem-backend channel`
+appended — and fails unless both exit 0 and both stdouts are byte-identical
+to the golden capture taken before the MemoryBackend boundary existed.
+Any divergence means the refactor changed default-model results, which the
+pluggable-backend contract forbids (sim/memory_backend.hpp); the banked
+backends are *supposed* to differ and are not checked here. Registered as
+the blocking `smoke.fig9_backend_identity` ctest entry; interface-level
+equivalence is covered by tests/sim/memory_backend_test.cpp.
+
+Usage: scripts/check_backend_identity.py <driver> <golden-file> [args...]
+"""
+
+import sys
+import subprocess
+
+
+def run(extra):
+    cmd = [sys.argv[1], *sys.argv[3:], *extra]
+    proc = subprocess.run(cmd, capture_output=True)
+    if proc.returncode != 0:
+        print(proc.stderr.decode(errors="replace"), file=sys.stderr)
+        sys.exit(f"run {extra or ['(default)']} failed ({proc.returncode})")
+    return proc.stdout
+
+
+def check(label, out, golden):
+    if out == golden:
+        return
+    for lineno, (a, b) in enumerate(
+            zip(golden.splitlines(), out.splitlines()), 1):
+        if a != b:
+            print(f"{label}: first divergence at stdout line {lineno}:",
+                  file=sys.stderr)
+            print(f"  golden: {a!r}", file=sys.stderr)
+            print(f"  run:    {b!r}", file=sys.stderr)
+            break
+    sys.exit(f"{label} output differs from the pre-refactor golden "
+             f"({len(golden)} vs {len(out)} bytes)")
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    with open(sys.argv[2], "rb") as f:
+        golden = f.read()
+    check("default backend", run([]), golden)
+    check("--mem-backend channel", run(["--mem-backend", "channel"]), golden)
+    print(f"backend identity OK ({len(golden)} bytes, bit-identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,7 +88,7 @@ BandwidthCalibration calibrate_bandwidth(const sim::MachineConfig& machine,
     engine.add_agent(std::move(probe), 0);
     const sim::Cycles end = engine.run();
     out.peak_bytes_per_sec =
-        static_cast<double>(engine.memory().mem_channel(0).total_bytes()) /
+        static_cast<double>(engine.memory().mem_backend(0).total_bytes()) /
         machine.cycles_to_seconds(end);
   }
   const sim::Cycles window = 20'000'000;
@@ -101,7 +101,7 @@ BandwidthCalibration calibrate_bandwidth(const sim::MachineConfig& machine,
           1 + i, /*primary=*/false);
     const sim::Cycles end = engine.run();
     const double used =
-        static_cast<double>(engine.memory().mem_channel(0).total_bytes()) /
+        static_cast<double>(engine.memory().mem_backend(0).total_bytes()) /
         machine.cycles_to_seconds(end);
     out.used_bytes_per_sec.push_back(used);
   }

@@ -546,22 +546,41 @@ void SweepOrchestrator::run_lease(OrchestratorReport& report,
   /// A dead worker's outstanding batch: charge every point one failure,
   /// re-queue the survivors (their records are checkpointed, so the
   /// re-run is mostly cache hits), drop the points whose budget is gone
-  /// — they surface as missing_points at the end.
+  /// — they surface as missing_points at the end. Survivors go back as
+  /// two halves (fresh lease ids are stamped at offer time): if one
+  /// poison point keeps killing workers, successive crashes bisect
+  /// toward it instead of charging the whole batch's points a failure
+  /// each time, and the halves can respawn on different slots.
   const auto requeue_current = [&](Slot& s, std::size_t w) {
-    WorkLease survivors;
-    survivors.cost = s.current.cost;
+    std::vector<std::size_t> survivors;
     std::size_t dead = 0;
     for (const std::size_t p : s.current.points) {
       if (++failures[p] > opts_.retries)
         ++dead;
       else
-        survivors.points.push_back(p);
+        survivors.push_back(p);
     }
     if (auto* e = find_entry(s.current.id)) e->completed = false;
     if (dead > 0)
       log << "worker " << w << ": " << dead
           << " point(s) exhausted their retry budget\n";
-    if (!survivors.empty()) queue.push_front(std::move(survivors));
+    if (!survivors.empty()) {
+      const std::size_t half = survivors.size() / 2;
+      const double cost_per_point =
+          s.current.cost / static_cast<double>(s.current.points.size());
+      WorkLease front_half;
+      front_half.points.assign(survivors.begin(), survivors.begin() + half);
+      WorkLease back_half;
+      back_half.points.assign(survivors.begin() + half, survivors.end());
+      for (auto* part : {&back_half, &front_half}) {
+        if (part->empty()) continue;
+        part->cost = cost_per_point * static_cast<double>(part->points.size());
+        queue.push_front(std::move(*part));
+      }
+      if (half > 0)
+        log << "worker " << w << ": batch split into " << half << " + "
+            << (survivors.size() - half) << " point(s) for requeue\n";
+    }
     s.has_current = false;
     s.current = WorkLease{};
   };

@@ -145,6 +145,22 @@ std::string machine_fingerprint(const sim::MachineConfig& m) {
       .mix(m.prefetcher.max_stride_lines)
       .mix(m.prefetcher.page_lines)
       .mix(m.prefetcher.enabled);
+  // The memory backend changes simulated results, so it must key results
+  // — but only when it deviates from the default: mixing nothing for
+  // kChannel keeps every pre-backend fingerprint (and the cached results
+  // stored under it) valid.
+  if (m.mem_backend != sim::MemBackendKind::kChannel) {
+    fp.mix(static_cast<std::uint32_t>(m.mem_backend))
+        .mix(m.dram.channels)
+        .mix(m.dram.banks)
+        .mix(m.dram.row_bytes)
+        .mix(m.dram.t_rcd)
+        .mix(m.dram.t_rp)
+        .mix(m.dram.t_cas)
+        .mix(m.dram.base_latency)
+        .mix(m.dram.refresh_interval)
+        .mix(m.dram.refresh_cycles);
+  }
   return fp.hex();
 }
 

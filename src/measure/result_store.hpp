@@ -52,7 +52,11 @@ inline constexpr std::uint32_t kResultEpoch = 1;
 /// Stable 16-hex-digit digest of every MachineConfig field that can change
 /// simulation results, plus kResultEpoch. Two configs with equal
 /// fingerprints produce bit-identical runs for equal (workload, spec,
-/// seed, budget) under the same code epoch.
+/// seed, budget) under the same code epoch. The memory-backend selection
+/// and its DramConfig knobs are part of the digest — they shape results —
+/// but are mixed only when the backend deviates from the default channel
+/// pipe, so pre-backend store files keep matching. Host-speed knobs
+/// (l1_filter) are deliberately excluded.
 std::string machine_fingerprint(const sim::MachineConfig& machine);
 
 /// The store-file naming policy every driver shares, so `amresult merge`

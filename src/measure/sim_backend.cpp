@@ -62,7 +62,7 @@ SimRunResult SimBackend::run(const WorkloadFactory& factory,
         static_cast<double>(result.app.bytes_from_mem) / result.seconds;
     std::uint64_t socket_bytes = 0;
     for (const auto s : used_sockets)
-      socket_bytes += engine.memory().mem_channel(s).total_bytes();
+      socket_bytes += engine.memory().mem_backend(s).total_bytes();
     result.total_mem_bandwidth =
         static_cast<double>(socket_bytes) / result.seconds;
   }

@@ -1,0 +1,104 @@
+#pragma once
+// DRAMsim3-style banked DRAM backend: per-channel command/data queues,
+// per-bank row-buffer state machines, FR-FCFS-lite scheduling, periodic
+// refresh. See sim/memory_backend.hpp for the interface contract and
+// DramConfig (sim/machine.hpp) for the timing parameters.
+//
+// Model, adapted from DRAMsim3's bankstate/channel_state/command_queue/
+// refresh decomposition (Li et al., CAL 2020) to this simulator's
+// event-driven "request at `now`, answer a completion cycle" boundary:
+//
+//   * Address mapping: line addresses interleave across channels
+//     (channel = line mod channels); within a channel, consecutive rows
+//     stripe across banks, so streams get row-buffer locality and
+//     independent streams get bank-level parallelism.
+//   * Bank state machine (open-page policy): a column access into the
+//     open row costs tCAS; an activate into a precharged bank tRCD+tCAS;
+//     a row conflict tRP+tRCD+tCAS. The touched row stays open.
+//   * Channel data bus: every transfer occupies the channel's bus for
+//     ceil(bytes / per-channel bytes-per-cycle) after its column access,
+//     serializing like the original pipe but per channel.
+//   * FR-FCFS-lite: each channel holds at most `max_outstanding` row
+//     misses in flight; a further miss waits for the earliest one to
+//     finish. Row hits bypass the occupancy limit — "first-ready" —
+//     which is the scheduling-priority half of FR-FCFS without
+//     modelling reordering this call-order-deterministic engine could
+//     never observe.
+//   * Refresh: every `refresh_interval` cycles a bank takes a
+//     `refresh_cycles` window (banks staggered across the interval, as
+//     per-bank refresh staggers tREFI), closing its row and pushing
+//     queued work back. The wait requests actually experience is
+//     counted in stats().refresh_stall_cycles.
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/memory_backend.hpp"
+
+namespace am::sim {
+
+class BankedDramBackend final : public MemoryBackend {
+ public:
+  /// `bytes_per_cycle` is the socket's aggregate peak (the same number
+  /// the channel model uses), split evenly across config.channels;
+  /// `max_outstanding` bounds each channel's in-flight row misses
+  /// (MachineConfig::max_outstanding_misses). Throws
+  /// std::invalid_argument on invalid config (DramConfig::validate) or
+  /// non-positive bandwidth.
+  BankedDramBackend(const DramConfig& config, double bytes_per_cycle,
+                    std::uint32_t line_bytes, std::uint32_t max_outstanding);
+
+  Cycles transfer(Cycles now, Addr line, std::uint64_t bytes) override {
+    return schedule(now, line, bytes);
+  }
+  void transfer_async(Cycles now, Addr line, std::uint64_t bytes) override {
+    (void)schedule(now, line, bytes);
+  }
+  bool saturated(Cycles now, Cycles max_queue_cycles, Addr line) const override;
+  std::uint64_t total_bytes() const override { return total_bytes_; }
+  Cycles busy_until() const override;
+  double utilization(Cycles now) const override;
+  void reset_stats() override;
+  const MemoryBackendStats& stats() const override { return stats_; }
+  std::string_view name() const override { return "banked-dram"; }
+
+  const DramConfig& config() const { return config_; }
+
+ private:
+  static constexpr std::uint64_t kNoRow = ~0ull;
+
+  struct Bank {
+    std::uint64_t open_row = kNoRow;
+    Cycles ready = 0;         // earliest next command start
+    Cycles next_refresh = 0;  // next scheduled refresh window
+  };
+  struct Channel {
+    Cycles bus_busy_until = 0;
+    std::vector<Bank> banks;
+    std::vector<Cycles> inflight;  // completion times of in-flight misses
+  };
+
+  struct Decoded {
+    std::uint32_t channel;
+    std::uint32_t bank;
+    std::uint64_t row;
+  };
+  Decoded decode(Addr line) const;
+
+  /// Applies refresh windows due at or before `now` to `bank`; returns
+  /// the extra wait a request arriving at `now` sees because of them.
+  Cycles catch_up_refresh(Bank& bank, Cycles now);
+
+  Cycles schedule(Cycles now, Addr line, std::uint64_t bytes);
+
+  DramConfig config_;
+  double channel_bytes_per_cycle_;
+  std::uint64_t lines_per_row_;
+  std::uint32_t max_outstanding_;
+  std::vector<Channel> channels_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t busy_cycles_ = 0;  // data-bus occupancy, all channels
+  MemoryBackendStats stats_;
+};
+
+}  // namespace am::sim

@@ -5,6 +5,59 @@
 
 namespace am::sim {
 
+void DramConfig::validate(std::uint32_t line_bytes) const {
+  if (channels == 0 || banks == 0)
+    throw std::invalid_argument("DramConfig: empty channel/bank geometry");
+  if (row_bytes == 0 || line_bytes == 0 || row_bytes % line_bytes != 0)
+    throw std::invalid_argument(
+        "DramConfig: row_bytes must be a positive multiple of the line size");
+  if (t_cas == 0)
+    throw std::invalid_argument("DramConfig: t_cas must be positive");
+  if (refresh_interval != 0 && refresh_cycles >= refresh_interval)
+    throw std::invalid_argument(
+        "DramConfig: refresh window >= interval would saturate the bank");
+}
+
+DramConfig DramConfig::ddr4() { return DramConfig{}; }
+
+DramConfig DramConfig::hbm() {
+  DramConfig d;
+  d.channels = 8;
+  d.banks = 16;
+  d.row_bytes = 2048;
+  d.t_rcd = 38;
+  d.t_rp = 38;
+  d.t_cas = 38;
+  d.base_latency = 80;
+  // Denser arrays refresh more often but with shorter windows.
+  d.refresh_interval = 10140;  // ~3.9 us
+  d.refresh_cycles = 420;      // ~160 ns
+  return d;
+}
+
+const char* mem_backend_name(MemBackendKind kind) {
+  return kind == MemBackendKind::kBankedDram ? "banked-dram" : "channel";
+}
+
+void apply_mem_backend(MachineConfig& machine, const std::string& spec) {
+  if (spec == "channel") {
+    machine.mem_backend = MemBackendKind::kChannel;
+  } else if (spec == "banked") {
+    machine.mem_backend = MemBackendKind::kBankedDram;
+  } else if (spec == "ddr4") {
+    machine.mem_backend = MemBackendKind::kBankedDram;
+    machine.dram = DramConfig::ddr4();
+  } else if (spec == "hbm") {
+    machine.mem_backend = MemBackendKind::kBankedDram;
+    machine.dram = DramConfig::hbm();
+  } else {
+    throw std::invalid_argument(
+        "unknown --mem-backend '" + spec +
+        "' (choices: channel, banked, ddr4, hbm)");
+  }
+  machine.validate();
+}
+
 void MachineConfig::validate() const {
   if (nodes == 0 || sockets_per_node == 0 || cores_per_socket == 0)
     throw std::invalid_argument("MachineConfig: empty topology");
@@ -19,6 +72,7 @@ void MachineConfig::validate() const {
   l3.validate();
   if (l1.line_bytes != l2.line_bytes || l2.line_bytes != l3.line_bytes)
     throw std::invalid_argument("MachineConfig: mismatched line sizes");
+  if (mem_backend == MemBackendKind::kBankedDram) dram.validate(l3.line_bytes);
 }
 
 MachineConfig MachineConfig::xeon20mb(std::uint32_t nodes) {

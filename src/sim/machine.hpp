@@ -12,6 +12,50 @@
 
 namespace am::sim {
 
+/// Which MemoryBackend a socket's memory is modelled by (see
+/// sim/memory_backend.hpp). Unlike the L1 filter, this changes simulated
+/// results, so it — and the DramConfig knobs when banked — enters
+/// measure::machine_fingerprint and therefore result-store keys.
+enum class MemBackendKind : std::uint8_t {
+  kChannel = 0,     // serially occupied pipe (the original model; default)
+  kBankedDram = 1,  // banked DRAM with row buffers + refresh
+};
+
+/// Timing/geometry of the banked DRAM backend (sim/banked_dram.hpp).
+/// All timings are CPU cycles of the simulated machine; the presets are
+/// quoted at the Xeon20MB 2.6 GHz clock.
+struct DramConfig {
+  std::uint32_t channels = 2;  // per socket; line-interleaved
+  std::uint32_t banks = 8;     // per channel
+  /// Row-buffer coverage in bytes: consecutive lines within one row hit
+  /// the open row. Must be a positive multiple of the cache line size.
+  std::uint32_t row_bytes = 8192;
+  Cycles t_rcd = 36;  // activate -> column command (~14 ns at 2.6 GHz)
+  Cycles t_rp = 36;   // precharge
+  Cycles t_cas = 36;  // column command -> first data
+  /// Controller + on-chip interconnect latency added to every access
+  /// before the DRAM command sequence. Chosen so an idle row-empty
+  /// access lands near the channel model's mem_latency, keeping the two
+  /// backends comparable at zero load.
+  Cycles base_latency = 90;
+  /// Per-bank refresh period (tREFI-class; ~7.8 us at 2.6 GHz is 20280).
+  /// 0 disables refresh.
+  Cycles refresh_interval = 20280;
+  /// Bank-unavailable window per refresh (tRFC-class; ~350 ns is 910).
+  Cycles refresh_cycles = 910;
+
+  /// Throws std::invalid_argument on an inconsistent configuration
+  /// (empty geometry, row_bytes not a multiple of `line_bytes`, or a
+  /// refresh window that saturates the bank).
+  void validate(std::uint32_t line_bytes) const;
+
+  /// DDR4-2400-class defaults: few channels, large rows, slow refresh.
+  static DramConfig ddr4();
+  /// HBM-class: many narrow channels, small rows, more banks — higher
+  /// bank-level parallelism, less per-stream row locality.
+  static DramConfig hbm();
+};
+
 struct MachineConfig {
   std::string name = "Xeon20MB";
 
@@ -61,6 +105,14 @@ struct MachineConfig {
   /// excludes it so result-store keys are stable across the toggle.
   bool l1_filter = true;
 
+  /// Memory-backend selection (sim/memory_backend.hpp). kChannel keeps
+  /// the original pipe bit-identically; kBankedDram swaps in the banked
+  /// DRAM model, whose `dram` knobs then shape results (and store keys).
+  MemBackendKind mem_backend = MemBackendKind::kChannel;
+  /// Banked-backend timing; ignored (and excluded from fingerprints)
+  /// under kChannel.
+  DramConfig dram;
+
   PrefetcherConfig prefetcher;
 
   std::uint32_t total_sockets() const { return nodes * sockets_per_node; }
@@ -94,5 +146,15 @@ struct MachineConfig {
   static MachineConfig xeon20mb_scaled(std::uint32_t factor,
                                        std::uint32_t nodes = 1);
 };
+
+/// Human name of a backend kind ("channel" / "banked-dram").
+const char* mem_backend_name(MemBackendKind kind);
+
+/// Applies a `--mem-backend` CLI spelling to `machine`:
+///   "channel"     — the default pipe;
+///   "banked"      — banked DRAM with machine.dram as already configured;
+///   "ddr4"/"hbm"  — banked DRAM with the matching DramConfig preset.
+/// Throws std::invalid_argument on anything else, listing the choices.
+void apply_mem_backend(MachineConfig& machine, const std::string& spec);
 
 }  // namespace am::sim

@@ -1,0 +1,18 @@
+#include "sim/memory_backend.hpp"
+
+#include "sim/banked_dram.hpp"
+#include "sim/machine.hpp"
+
+namespace am::sim {
+
+std::unique_ptr<MemoryBackend> make_memory_backend(
+    const MachineConfig& config) {
+  if (config.mem_backend == MemBackendKind::kBankedDram)
+    return std::make_unique<BankedDramBackend>(
+        config.dram, config.mem_bytes_per_cycle(), config.l3.line_bytes,
+        config.max_outstanding_misses);
+  return std::make_unique<ChannelBackend>(config.mem_bytes_per_cycle(),
+                                          config.mem_latency);
+}
+
+}  // namespace am::sim

@@ -1,0 +1,141 @@
+#pragma once
+// The engine↔memory boundary: everything below the L3 is a MemoryBackend.
+//
+// MemorySystem used to talk to a concrete BandwidthChannel; this interface
+// makes the backend pluggable (MachineConfig::mem_backend) so the same
+// hierarchy walk can run against memory models of very different fidelity:
+//
+//   * ChannelBackend — the default. Wraps the original BandwidthChannel
+//     (a serially occupied pipe) and is REQUIRED to stay bit-identical to
+//     it: same completion times, same statistics, for any call sequence.
+//     Guarded by tests/sim/memory_backend_test.cpp equivalence properties
+//     and the blocking smoke.fig9_backend_identity ctest entry (golden
+//     byte-compare against the pre-refactor output).
+//   * BankedDramBackend (sim/banked_dram.hpp) — DRAMsim3-style banked
+//     DRAM: per-channel command/data queues, per-bank row-buffer state
+//     machines with tRCD/tRP/tCAS-class timing, FR-FCFS-lite scheduling,
+//     periodic refresh. Opens row-buffer locality and refresh storms as
+//     measurable interference kinds the coarse pipe cannot express.
+//
+// The interface is deliberately call-order deterministic, like the rest
+// of the simulator: transfers are scheduled in call order, `now` values
+// need not be monotonic, and equal call sequences produce equal
+// completion times and statistics. Unlike DRAMsim3's tick-driven
+// AddTransaction/ClockTick shape (SNIPPETS.md snippets 1-2), backends
+// here answer with an absolute completion cycle immediately — the engine
+// is event-driven, so "when would this line arrive" is the whole
+// contract — but the address now crosses the boundary, which is what
+// lets a backend model bank/row structure at all.
+//
+// Selection changes results, so — unlike the L1 filter host-speed knob —
+// the backend kind and its timing parameters enter
+// measure::machine_fingerprint (ChannelBackend configs keep their
+// pre-refactor fingerprints; see result_store.cpp).
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "sim/bandwidth.hpp"
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+struct MachineConfig;
+
+/// Backend-level event counts (the DRAM analogue of the per-core
+/// Counters). All zero for backends without bank structure. Diagnostic
+/// surface only: deliberately NOT part of the ResultStore record format,
+/// which must not change across backends — the backend's effect on
+/// results flows through completion times (seconds, stall cycles).
+struct MemoryBackendStats {
+  std::uint64_t row_hits = 0;       // column access into the open row
+  std::uint64_t row_empties = 0;    // activate into a precharged bank
+  std::uint64_t row_conflicts = 0;  // precharge + activate (row miss)
+  std::uint64_t refreshes = 0;      // refresh windows taken
+  /// Extra cycles requests waited because a refresh window held their
+  /// bank — the "third interference kind" next to capacity and bandwidth.
+  std::uint64_t refresh_stall_cycles = 0;
+};
+
+/// Abstract memory below the L3 of one socket. All times are absolute
+/// engine cycles; `line` is a line address (byte address >> line shift),
+/// giving structured backends the bits they need for channel/bank/row
+/// decoding. Implementations must be call-order deterministic.
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+
+  /// Demand fill of `bytes` for `line`, requested at `now`; returns the
+  /// absolute completion time (queueing + service + latency).
+  virtual Cycles transfer(Cycles now, Addr line, std::uint64_t bytes) = 0;
+
+  /// Posted traffic nobody waits on (write-backs, prefetch fills):
+  /// occupies the backend exactly like transfer() but returns nothing.
+  virtual void transfer_async(Cycles now, Addr line, std::uint64_t bytes) = 0;
+
+  /// True if a transfer of `line` issued now would queue more than
+  /// `max_queue_cycles` — used to drop prefetches under saturation.
+  /// Structured backends judge the queue `line` would actually join.
+  virtual bool saturated(Cycles now, Cycles max_queue_cycles,
+                         Addr line) const = 0;
+
+  /// Total bytes moved (demand + posted) since the last reset_stats().
+  virtual std::uint64_t total_bytes() const = 0;
+
+  /// The time the backend's last scheduled work drains (max over internal
+  /// queues) — a state digest for identity tests, not a scheduling input.
+  virtual Cycles busy_until() const = 0;
+
+  /// Average data-bus utilization over [0, now], in [0, 1]; 0 at now == 0.
+  virtual double utilization(Cycles now) const = 0;
+
+  /// Zeroes byte/cycle accounting and stats(); timing state (open rows,
+  /// queue occupancy) is kept, mirroring BandwidthChannel::reset_stats.
+  virtual void reset_stats() = 0;
+
+  virtual const MemoryBackendStats& stats() const = 0;
+
+  /// Stable identifier ("channel", "banked-dram") for logs and tables.
+  virtual std::string_view name() const = 0;
+};
+
+/// The default backend: the original serially-occupied finite-bandwidth
+/// pipe, by composition of the unchanged BandwidthChannel. The address is
+/// ignored — that is the model. Bit-identical to pre-refactor behaviour
+/// by construction; every method forwards without arithmetic.
+class ChannelBackend final : public MemoryBackend {
+ public:
+  ChannelBackend(double bytes_per_cycle, Cycles latency_cycles)
+      : channel_(bytes_per_cycle, latency_cycles) {}
+
+  Cycles transfer(Cycles now, Addr, std::uint64_t bytes) override {
+    return channel_.transfer(now, bytes);
+  }
+  void transfer_async(Cycles now, Addr, std::uint64_t bytes) override {
+    channel_.transfer_async(now, bytes);
+  }
+  bool saturated(Cycles now, Cycles max_queue_cycles, Addr) const override {
+    return channel_.saturated(now, max_queue_cycles);
+  }
+  std::uint64_t total_bytes() const override { return channel_.total_bytes(); }
+  Cycles busy_until() const override { return channel_.busy_until(); }
+  double utilization(Cycles now) const override {
+    return channel_.utilization(now);
+  }
+  void reset_stats() override { channel_.reset_stats(); }
+  const MemoryBackendStats& stats() const override { return stats_; }
+  std::string_view name() const override { return "channel"; }
+
+ private:
+  BandwidthChannel channel_;
+  MemoryBackendStats stats_;  // structureless pipe: permanently zero
+};
+
+/// Builds the backend one socket of `config` selects
+/// (MachineConfig::mem_backend + MachineConfig::dram). Validates the
+/// relevant configuration; throws std::invalid_argument as validate()
+/// does.
+std::unique_ptr<MemoryBackend> make_memory_backend(
+    const MachineConfig& config);
+
+}  // namespace am::sim

@@ -26,8 +26,7 @@ MemorySystem::MemorySystem(MachineConfig config) : config_(std::move(config)) {
   }
   for (std::uint32_t s = 0; s < sockets; ++s) {
     l3_.push_back(std::make_unique<Cache>(config_.l3));
-    mem_channel_.push_back(std::make_unique<BandwidthChannel>(
-        config_.mem_bytes_per_cycle(), config_.mem_latency));
+    mem_backend_.push_back(make_memory_backend(config_));
   }
   for (std::uint32_t n = 0; n < config_.nodes; ++n)
     nic_.push_back(std::make_unique<BandwidthChannel>(
@@ -81,7 +80,8 @@ void MemorySystem::handle_l3_eviction(std::uint32_t socket, CoreId core,
   if (dirty) {
     const auto wb_bytes = static_cast<std::uint64_t>(
         config_.l3.line_bytes * config_.writeback_cost_factor);
-    if (wb_bytes > 0) mem_channel_[socket]->transfer_async(now, wb_bytes);
+    if (wb_bytes > 0)
+      mem_backend_[socket]->transfer_async(now, out.evicted_line, wb_bytes);
     ++counters_[core].writebacks;
   }
 }
@@ -92,17 +92,17 @@ void MemorySystem::issue_prefetches(CoreId core, Addr miss_line, Cycles now) {
   if (prefetch_buf_.empty()) return;
   const std::uint32_t socket = config_.socket_of(core);
   Cache& l3 = *l3_[socket];
-  BandwidthChannel& bus = *mem_channel_[socket];
+  MemoryBackend& bus = *mem_backend_[socket];
   Counters& ctr = counters_[core];
   for (Addr line : prefetch_buf_) {
     if (l3.contains(line)) continue;
     // Prefetches yield to demand traffic: drop them once the bus queue is
     // deeper than roughly two DRAM latencies.
-    if (bus.saturated(now, 2 * config_.mem_latency)) {
+    if (bus.saturated(now, 2 * config_.mem_latency, line)) {
       ++ctr.prefetch_dropped;
       continue;
     }
-    bus.transfer_async(now, config_.l3.line_bytes);
+    bus.transfer_async(now, line, config_.l3.line_bytes);
     const auto out = l3.access(line, static_cast<std::uint16_t>(core), 0, false);
     handle_l3_eviction(socket, core, out, now);
     ++ctr.prefetch_issued;
@@ -165,7 +165,7 @@ AccessResult MemorySystem::access_slow(CoreId core, Addr addr, AccessKind kind,
 
   // DRAM: queue on the socket's memory bus, then fill all levels.
   const Cycles done =
-      mem_channel_[socket]->transfer(now, config_.l3.line_bytes);
+      mem_backend_[socket]->transfer(now, line, config_.l3.line_bytes);
   ++ctr.mem_accesses;
   ctr.bytes_from_mem += config_.l3.line_bytes;
   return {done, Level::kMemory};
@@ -211,7 +211,7 @@ std::uint64_t MemorySystem::l3_occupancy_bytes(CoreId core) const {
 
 void MemorySystem::reset_stats() {
   for (auto& c : counters_) c = Counters{};
-  for (auto& ch : mem_channel_) ch->reset_stats();
+  for (auto& ch : mem_backend_) ch->reset_stats();
   for (auto& ch : nic_) ch->reset_stats();
 }
 

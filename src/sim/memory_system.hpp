@@ -12,6 +12,7 @@
 #include "sim/cache.hpp"
 #include "sim/counters.hpp"
 #include "sim/machine.hpp"
+#include "sim/memory_backend.hpp"
 #include "sim/prefetcher.hpp"
 #include "sim/types.hpp"
 
@@ -75,8 +76,10 @@ class MemorySystem {
   Cache& l3(std::uint32_t socket) { return *l3_[socket]; }
   Cache& l1(CoreId core) { return *l1_[core]; }
   Cache& l2(CoreId core) { return *l2_[core]; }
-  BandwidthChannel& mem_channel(std::uint32_t socket) {
-    return *mem_channel_[socket];
+  /// The socket's memory backend (channel pipe or banked DRAM, per
+  /// config().mem_backend). See sim/memory_backend.hpp.
+  MemoryBackend& mem_backend(std::uint32_t socket) {
+    return *mem_backend_[socket];
   }
   StreamPrefetcher& prefetcher(CoreId core) { return *prefetcher_[core]; }
 
@@ -111,8 +114,8 @@ class MemorySystem {
   std::vector<std::unique_ptr<Cache>> l2_;  // per core
   std::vector<std::unique_ptr<StreamPrefetcher>> prefetcher_;  // per core
   std::vector<std::unique_ptr<Cache>> l3_;                     // per socket
-  std::vector<std::unique_ptr<BandwidthChannel>> mem_channel_;  // per socket
-  std::vector<std::unique_ptr<BandwidthChannel>> nic_;          // per node
+  std::vector<std::unique_ptr<MemoryBackend>> mem_backend_;  // per socket
+  std::vector<std::unique_ptr<BandwidthChannel>> nic_;       // per node
   std::vector<Counters> counters_;                              // per core
   std::vector<std::uint32_t> hint_countdown_;                   // per core
   std::vector<Addr> prefetch_buf_;

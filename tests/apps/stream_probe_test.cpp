@@ -21,7 +21,7 @@ TEST(StreamProbe, MeasuresNearPeakBandwidth) {
   const auto end = eng.run();
   const double seconds = m.cycles_to_seconds(end);
   const double bw =
-      static_cast<double>(eng.memory().mem_channel(0).total_bytes()) / seconds;
+      static_cast<double>(eng.memory().mem_backend(0).total_bytes()) / seconds;
   // The probe should reach a large fraction of the configured 17 GB/s
   // (it is the calibration instrument for the paper's STREAM figure).
   EXPECT_GT(bw, 0.6 * m.mem_bandwidth_bytes_per_sec);
@@ -52,7 +52,7 @@ TEST(StreamProbe, PrefetcherRaisesBandwidth) {
     eng.add_agent(std::make_unique<StreamProbeAgent>(eng.memory(), cfg), 0);
     const auto end = eng.run();
     return static_cast<double>(
-               eng.memory().mem_channel(0).total_bytes()) /
+               eng.memory().mem_backend(0).total_bytes()) /
            m.cycles_to_seconds(end);
   };
   EXPECT_GT(run(true), run(false));

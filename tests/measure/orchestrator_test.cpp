@@ -382,6 +382,65 @@ TEST_F(OrchestratorTest, LeaseModeExhaustsPerPointBudgetAndNamesPoints) {
   EXPECT_FALSE(fs::exists(store_path(dir(), "drv")));
 }
 
+/// Like kLeaseWorkerScript but with a 4-point plan, acks sized to the
+/// offered batch, and a one-shot poison: the first worker to claim
+/// (atomically rm) the marker dies with the retryable exit code while
+/// holding its lease.
+constexpr const char* kPoisonOnceLeaseWorkerScript = R"sh(
+case "$3" in
+  --emit-plan)
+    printf '#am-plan-info v1\npoints\t4\n' > "$4.tmp" && mv "$4.tmp" "$4"
+    exit 0 ;;
+  --lease)
+    lease=$4; last=
+    while :; do
+      if [ -f "$lease" ]; then
+        id=$(awk '$1=="lease"{print $2}' "$lease")
+        dn=$(awk '$1=="done"{print $2}' "$lease")
+        if [ -n "$id" ] && [ "$id" != "$last" ]; then
+          if [ "$dn" = "1" ]; then exit 0; fi
+          if rm "$2/poison.marker" 2>/dev/null; then exit 3; fi
+          np=$(awk '$1=="points"{print NF-1}' "$lease")
+          printf '#am-lease-ack v1\nlease\t%s\npoints\t%s\nexecuted\t1\nwall\t0.1\n' \
+            "$id" "$np" > "$lease.ack.tmp" && mv "$lease.ack.tmp" "$lease.ack"
+          last=$id
+        fi
+      fi
+      sleep 0.01
+    done ;;
+esac
+exit 0
+)sh";
+
+TEST_F(OrchestratorTest, DeadWorkersBatchIsSplitOnRequeue) {
+  // One batch holds the whole 4-point plan; the first worker dies with
+  // it. The requeue must split the survivors in half — two 2-point
+  // batches under fresh lease ids — instead of re-offering all 4 as one
+  // block, so repeated crashes bisect toward a poison point.
+  { std::ofstream(dir_ / "poison.marker") << "x"; }
+  auto o = opts(kPoisonOnceLeaseWorkerScript, 2, /*retries=*/2);
+  o.schedule = Schedule::kLease;
+  o.probe_plan = true;
+  o.lease_batches = 1;
+  SweepOrchestrator orch(o);
+  std::ostringstream log;
+  const auto report = orch.run(log);
+  EXPECT_TRUE(report.success) << log.str();
+  ASSERT_EQ(report.leases.size(), 3u);
+  EXPECT_FALSE(report.leases[0].completed);
+  EXPECT_EQ(report.leases[0].points, 4u);
+  EXPECT_EQ(report.leases[1].points, 2u);
+  EXPECT_EQ(report.leases[2].points, 2u);
+  EXPECT_TRUE(report.leases[1].completed);
+  EXPECT_TRUE(report.leases[2].completed);
+  // Fresh ids, never a reuse of the dead lease's id.
+  EXPECT_NE(report.leases[1].id, report.leases[0].id);
+  EXPECT_NE(report.leases[2].id, report.leases[0].id);
+  EXPECT_TRUE(report.missing_points.empty());
+  EXPECT_NE(log.str().find("split into 2 + 2"), std::string::npos)
+      << log.str();
+}
+
 TEST_F(OrchestratorTest, LeaseModeRejectsCustomCommandsWithoutTheContract) {
   auto o = opts("exit 0", 1, 0);
   o.schedule = Schedule::kLease;

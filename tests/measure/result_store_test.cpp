@@ -280,6 +280,30 @@ TEST_F(ResultStoreTest, MachineFingerprintTracksConfig) {
   EXPECT_NE(machine_fingerprint(m), base);
 }
 
+TEST_F(ResultStoreTest, MachineFingerprintKeysMemoryBackend) {
+  const auto base = machine_fingerprint(machine());
+  // Selecting the banked backend changes results, so it must change the
+  // key; its timing knobs must too.
+  auto m = machine();
+  m.mem_backend = sim::MemBackendKind::kBankedDram;
+  const auto banked = machine_fingerprint(m);
+  EXPECT_NE(banked, base);
+  m.dram.banks *= 2;
+  EXPECT_NE(machine_fingerprint(m), banked);
+  m = machine();
+  sim::apply_mem_backend(m, "ddr4");
+  const auto ddr4 = machine_fingerprint(m);
+  sim::apply_mem_backend(m, "hbm");
+  EXPECT_NE(machine_fingerprint(m), ddr4);
+  // Under the default channel backend the dram knobs are inert (the
+  // model never reads them), so they must NOT perturb the key — that is
+  // what keeps every pre-backend store record reachable.
+  m = machine();
+  m.dram.t_cas += 7;
+  m.dram.channels = 16;
+  EXPECT_EQ(machine_fingerprint(m), base);
+}
+
 // ---------------------------------------------------------------------------
 // Cache-aware and sharded SweepRunner execution.
 

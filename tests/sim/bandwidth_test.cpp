@@ -56,6 +56,48 @@ TEST(BandwidthChannel, ResetStatsClearsAccounting) {
   EXPECT_NEAR(ch.utilization(1000), 0.0, 1e-9);
 }
 
+TEST(BandwidthChannel, UtilizationClampsWhenScheduledAhead) {
+  BandwidthChannel ch(4.0, 0);
+  ch.transfer(0, 4000);  // 1000 cycles of occupancy scheduled
+  // Queried mid-drain: more busy time booked than wall-clock elapsed —
+  // the ratio must clamp to 1, not report >100% utilization.
+  EXPECT_DOUBLE_EQ(ch.utilization(10), 1.0);
+  EXPECT_DOUBLE_EQ(ch.utilization(1000), 1.0);
+  EXPECT_NEAR(ch.utilization(2000), 0.5, 1e-9);
+}
+
+TEST(BandwidthChannel, UtilizationZeroAtTimeZero) {
+  BandwidthChannel ch(4.0, 0);
+  EXPECT_DOUBLE_EQ(ch.utilization(0), 0.0);
+  ch.transfer(0, 64);
+  // Still time zero: no elapsed wall-clock to divide by.
+  EXPECT_DOUBLE_EQ(ch.utilization(0), 0.0);
+}
+
+TEST(BandwidthChannel, SaturatedBoundaryIsExclusive) {
+  BandwidthChannel ch(1.0, 0);
+  ch.transfer_async(0, 64);  // busy through cycle 64
+  // saturated() is strict: a queue of exactly max_queue_cycles is NOT
+  // saturation (prefetches drop only strictly beyond the allowance).
+  EXPECT_FALSE(ch.saturated(0, 64));
+  EXPECT_TRUE(ch.saturated(0, 63));
+  EXPECT_FALSE(ch.saturated(1, 63));
+}
+
+TEST(BandwidthChannel, AsyncTransferMatchesSyncAccounting) {
+  BandwidthChannel sync_ch(4.0, 100);
+  BandwidthChannel async_ch(4.0, 100);
+  sync_ch.transfer(0, 64);
+  async_ch.transfer_async(0, 64);
+  // transfer_async is transfer without the completion answer: identical
+  // occupancy, bytes and utilization.
+  EXPECT_EQ(async_ch.total_bytes(), sync_ch.total_bytes());
+  EXPECT_EQ(async_ch.busy_until(), sync_ch.busy_until());
+  EXPECT_DOUBLE_EQ(async_ch.utilization(50), sync_ch.utilization(50));
+  // And the next sync transfer queues behind posted traffic identically.
+  EXPECT_EQ(async_ch.transfer(0, 64), sync_ch.transfer(0, 64));
+}
+
 TEST(BandwidthChannel, RejectsNonPositiveBandwidth) {
   EXPECT_THROW(BandwidthChannel(0.0, 10), std::invalid_argument);
   EXPECT_THROW(BandwidthChannel(-1.0, 10), std::invalid_argument);

@@ -171,10 +171,10 @@ struct Twins {
     }
     for (std::uint32_t s = 0; s < on.config().total_sockets(); ++s) {
       EXPECT_EQ(on.l3(s).resident_lines(), off.l3(s).resident_lines());
-      EXPECT_EQ(on.mem_channel(s).total_bytes(),
-                off.mem_channel(s).total_bytes());
-      EXPECT_EQ(on.mem_channel(s).busy_until(),
-                off.mem_channel(s).busy_until());
+      EXPECT_EQ(on.mem_backend(s).total_bytes(),
+                off.mem_backend(s).total_bytes());
+      EXPECT_EQ(on.mem_backend(s).busy_until(),
+                off.mem_backend(s).busy_until());
     }
   }
 };

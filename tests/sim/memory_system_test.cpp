@@ -68,14 +68,14 @@ TEST(MemorySystem, DirtyEvictionChargesWriteback) {
   MemorySystem ms(cfg);
   const Addr a = ms.alloc(64);
   ms.access(0, a, AccessKind::kStore, 0);
-  const std::uint64_t bytes_before = ms.mem_channel(0).total_bytes();
+  const std::uint64_t bytes_before = ms.mem_backend(0).total_bytes();
   const auto sets = cfg.l3.num_sets();
   Cycles t = 1000;
   for (std::uint64_t k = 1; k <= cfg.l3.ways + 1; ++k)
     t = ms.access(1, a + k * sets * 64, AccessKind::kLoad, t).complete;
   // The evicted dirty line caused one extra line transfer beyond the fills.
   const std::uint64_t fills = (cfg.l3.ways + 1) * 64;
-  EXPECT_GT(ms.mem_channel(0).total_bytes(), bytes_before + fills - 64);
+  EXPECT_GT(ms.mem_backend(0).total_bytes(), bytes_before + fills - 64);
 }
 
 TEST(MemorySystem, BatchOverlapsMissesUpToWindow) {
