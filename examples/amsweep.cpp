@@ -1,66 +1,68 @@
 // amsweep — multi-process sweep orchestrator over the shard/store
-// machinery.
+// machinery, plus the client side of the amsweepd daemon protocol.
 //
-// Takes a figure driver command and runs its experiment grid across
-// `--workers` supervised worker processes under one of two schedules:
+// Two personalities, picked by the first argument:
 //
-//   * `--schedule static` (default): `--shards` fixed round-robin slices
-//     chosen at spawn (`--shard i/M` per worker), retries per shard —
-//     the simple mode, fine for homogeneous grids.
-//   * `--schedule lease`: dynamic work-queue scheduling for the paper's
-//     wildly heterogeneous grids. amsweep first probes the driver
-//     (`--emit-plan`) for the plan size and per-point cost estimates
-//     (measured run times from previous sweeps when the store has them,
-//     a thread-count heuristic otherwise), splits the plan into
-//     size-aware batches (`--batches`, default a few per worker), and
-//     leases batches to whichever worker frees up next through
-//     atomically-written lease files (`--lease FILE` per worker).
-//     Crashed or stalled workers get their batch re-queued with a
-//     per-point retry budget.
+// 1. Daemon client subcommands (first arg is a word, not a flag):
 //
-// Workers are supervised either way (exit status + heartbeat sequence
-// progress); workers checkpoint their store as points complete, so a
-// retry re-runs only the points since the dead attempt's last
-// checkpoint. When the grid completes, the worker stores are merged
-// (the same library path as `amresult merge`) into the canonical store
-// the unsharded driver reads, and a run manifest (host fingerprint,
-// per-attempt and per-lease log, per-worker busy-time/batch/steal
-// stats) is written next to it. The merged store is bit-identical to a
-// direct serial run's under both schedules.
+//      amsweep mkplan [--workloads L] [--max-cs N] [--max-bw N]
+//              [--scale S] [--nodes N] [--backend B] [--seed S]
+//              [--accesses N] [--compute-ops N] [--out FILE]
+//      amsweep submit --socket PATH --ns NAME [--plan FILE]
+//              [--wait [--timeout S]]
+//      amsweep status --socket PATH --job ID
+//      amsweep cancel --socket PATH --job ID
+//      amsweep wait   --socket PATH --job ID [--timeout S]
+//      amsweep run-local --plan FILE --out STORE.tsv
 //
-//   amsweep --results-dir DIR [--schedule static|lease] [--workers N]
-//           [--shards M] [--batches K] [--cost-model measured|uniform]
-//           [--retries K] [--driver-name NAME] [--poll-seconds S]
-//           [--stall-timeout S] -- <figure driver> [driver flags...]
+//    mkplan emits a serialized plan spec (measure/plan_wire) for a
+//    synthetic-workload grid: `--workloads uni:2048,norm:4096` names
+//    distributions (uni/norm/exp/tri) with buffer element counts;
+//    each workload gets a baseline point plus cache-storage and
+//    bandwidth interference sweeps. submit sends a plan (from --plan
+//    or stdin) to an amsweepd under a tenant namespace; status/
+//    cancel/wait manage the returned job id. run-local executes a
+//    plan in-process, serially, into a plain store file — the
+//    baseline the daemon's per-namespace stores are byte-compared
+//    against. Every subcommand accepting --socket also accepts
+//    --tcp PORT for a loopback-TCP daemon.
 //
-//   amsweep --results-dir results --schedule lease --workers 4
-//       -- bench/fig9_mcb_degradation --quick       (one shell line)
+//    Client exit status:
+//      0  success (wait: job done)
+//      1  daemon reported an error / job failed or cancelled
+//      2  usage
+//      3  retry later: daemon draining or unreachable
 //
-// Everything after `--` is the worker command; amsweep appends
-// `--results-dir DIR` plus `--shard i/M --worker` (static) or
-// `--lease FILE --worker` (lease) per worker, and `--emit-plan FILE`
-// for the probe. `--driver-name` (default: the worker binary's
-// basename) must match the store-file stem the driver uses.
+// 2. Orchestrator mode (everything else — the PR-5 interface):
 //
-// Exit status:
-//   0  merged store written (bit-identical to a serial run)
-//   1  sweep failed — the manifest names the missing shards (static) or
-//      plan points (lease), and records driver flag rejections and
-//      failed lease-mode plan probes as the fatal error
-//   2  usage: bad amsweep flags (unparseable numbers, unknown
-//      --schedule/--cost-model values, missing --results-dir or "--")
+//      amsweep --results-dir DIR [--schedule static|lease] [--workers N]
+//              [--shards M] [--batches K] [--cost-model measured|uniform]
+//              [--retries K] [--driver-name NAME] [--poll-seconds S]
+//              [--stall-timeout S] -- <figure driver> [driver flags...]
+//
+//    Runs a figure driver's grid across supervised worker processes
+//    under a static or dynamic (lease) schedule; the merged store is
+//    bit-identical to a direct serial run. Exit: 0 merged, 1 sweep
+//    failed (see manifest), 2 usage.
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/socket.hpp"
+#include "measure/daemon.hpp"
 #include "measure/orchestrator.hpp"
+#include "measure/plan_wire.hpp"
 
 namespace {
 
@@ -72,13 +74,340 @@ int usage() {
       "               [--cost-model measured|uniform] [--retries K]\n"
       "               [--driver-name NAME] [--poll-seconds S]\n"
       "               [--stall-timeout S] -- <figure driver> [flags...]\n"
-      "exit: 0 merged, 1 sweep failed (see manifest), 2 usage\n");
+      "       amsweep mkplan|submit|status|cancel|wait|run-local ...\n"
+      "exit: 0 ok, 1 failed, 2 usage, 3 retry later (client)\n");
   return 2;
+}
+
+// ---------------------------------------------------------------------------
+// Daemon client subcommands
+
+/// Connects per --socket PATH / --tcp PORT. Throws std::invalid_argument
+/// on missing flags (usage) and SocketError when nothing answers (the
+/// caller maps that to exit 3, retry later).
+am::measure::DaemonClient connect(const am::Cli& cli) {
+  const auto timeout = cli.get_double("connect-timeout", 5.0);
+  const auto tcp = cli.get_int("tcp", -1);
+  if (tcp >= 0) {
+    if (tcp > 65535)
+      throw std::invalid_argument("--tcp must be a port in [0, 65535]");
+    return am::measure::DaemonClient::connect_tcp(
+        static_cast<std::uint16_t>(tcp), timeout);
+  }
+  const auto socket = cli.get("socket", "");
+  if (socket.empty())
+    throw std::invalid_argument("--socket PATH (or --tcp PORT) is required");
+  return am::measure::DaemonClient::connect_unix(socket, timeout);
+}
+
+void print_reply(const am::measure::DaemonReply& r) {
+  std::cout << "job " << r.job << ": " << am::measure::job_state_name(r.state)
+            << " (" << r.done_points << "/" << r.points << " points, "
+            << r.executed << " engine runs)";
+  if (!r.error.empty()) std::cout << " — " << r.error;
+  std::cout << "\n";
+}
+
+/// Exit code for a reply: retry-later beats error beats success, and
+/// `wait` additionally fails on terminal-but-not-done states.
+int reply_exit(const am::measure::DaemonReply& r, bool require_done) {
+  if (r.retry) {
+    std::cout << "retry later: "
+              << (r.error.empty() ? "daemon is draining" : r.error) << "\n";
+    return 3;
+  }
+  if (!r.ok) {
+    std::fprintf(stderr, "amsweep: daemon error: %s\n", r.error.c_str());
+    return 1;
+  }
+  if (require_done && r.state != am::measure::JobState::kDone) return 1;
+  return 0;
+}
+
+std::uint64_t job_flag(const am::Cli& cli) {
+  const auto job = cli.get_int("job", -1);
+  if (job < 0) throw std::invalid_argument("--job ID is required");
+  return static_cast<std::uint64_t>(job);
+}
+
+std::string read_plan_text(const am::Cli& cli) {
+  const auto path = cli.get("plan", "");
+  std::ostringstream text;
+  if (path.empty()) {
+    text << std::cin.rdbuf();  // `amsweep mkplan | amsweep submit`
+  } else {
+    std::ifstream in(path);
+    if (!in)
+      throw std::invalid_argument("cannot read plan file '" + path + "'");
+    text << in.rdbuf();
+  }
+  return text.str();
+}
+
+int cmd_submit(const am::Cli& cli) {
+  const auto ns = cli.get("ns", "");
+  if (ns.empty()) throw std::invalid_argument("--ns NAME is required");
+  const auto plan = read_plan_text(cli);
+  auto client = connect(cli);
+  auto reply = client.submit(ns, plan);
+  const int rc = reply_exit(reply, false);
+  if (rc != 0) return rc;
+  std::cout << "submitted as job " << reply.job << " (" << reply.points
+            << " points, namespace " << ns << ")\n";
+  if (!cli.get_bool("wait", false)) return 0;
+  reply = client.wait(reply.job, cli.get_double("timeout", 0.0));
+  print_reply(reply);
+  return reply_exit(reply, true);
+}
+
+int cmd_status(const am::Cli& cli) {
+  auto client = connect(cli);
+  const auto reply = client.status(job_flag(cli));
+  if (reply.ok) print_reply(reply);
+  return reply_exit(reply, false);
+}
+
+int cmd_cancel(const am::Cli& cli) {
+  auto client = connect(cli);
+  const auto reply = client.cancel(job_flag(cli));
+  if (reply.ok) print_reply(reply);
+  return reply_exit(reply, false);
+}
+
+int cmd_wait(const am::Cli& cli) {
+  auto client = connect(cli);
+  const auto reply = client.wait(job_flag(cli), cli.get_double("timeout", 0.0));
+  if (reply.ok) print_reply(reply);
+  return reply_exit(reply, true);
+}
+
+/// Builds a synthetic-workload grid spec. The cs/bw configs follow the
+/// bench drivers' geometry-preserving scaling (4 MiB and 520 KiB at
+/// scale 1, floored at a page), so daemon results line up with what the
+/// figure pipeline would measure at the same --scale.
+int cmd_mkplan(const am::Cli& cli) {
+  am::measure::PlanSpec spec;
+  const auto scale = cli.get_int("scale", 256);
+  const auto nodes = cli.get_int("nodes", 1);
+  if (scale < 1 || nodes < 1)
+    throw std::invalid_argument("--scale and --nodes must be >= 1");
+  spec.machine_scale = static_cast<std::uint32_t>(scale);
+  spec.machine_nodes = static_cast<std::uint32_t>(nodes);
+  spec.mem_backend = cli.get("backend", "channel");
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  spec.cs.buffer_bytes =
+      std::max<std::uint64_t>(4096, 4ull * 1024 * 1024 / spec.machine_scale);
+  spec.bw.buffer_bytes =
+      std::max<std::uint64_t>(4096, 520ull * 1024 / spec.machine_scale);
+
+  const auto accesses = cli.get_int("accesses", 20000);
+  const auto compute_ops = cli.get_int("compute-ops", 1);
+  if (accesses < 1 || compute_ops < 1)
+    throw std::invalid_argument("--accesses and --compute-ops must be >= 1");
+  const auto max_cs = cli.get_int("max-cs", 2);
+  const auto max_bw = cli.get_int("max-bw", 2);
+  if (max_cs < 0 || max_bw < 0)
+    throw std::invalid_argument("--max-cs and --max-bw must be >= 0");
+
+  // uni:2048,norm:4096,... — distribution kind and buffer element count.
+  // Distribution parameters derive from n, and the derivation is baked
+  // into the workload name so stores can never alias two shapes.
+  const auto list = cli.get("workloads", "uni:2048,norm:2048");
+  std::istringstream items(list);
+  std::string item;
+  while (std::getline(items, item, ',')) {
+    if (item.empty()) continue;
+    const auto colon = item.find(':');
+    if (colon == std::string::npos || colon + 1 >= item.size())
+      throw std::invalid_argument("--workloads entries are kind:elements, got '" +
+                                  item + "'");
+    const std::string kind = item.substr(0, colon);
+    const long n = std::strtol(item.c_str() + colon + 1, nullptr, 10);
+    if (n < 16)
+      throw std::invalid_argument("--workloads element count must be >= 16");
+    am::measure::WorkloadWire w;
+    w.kind = am::measure::WorkloadWire::Kind::kSynthetic;
+    w.n = static_cast<std::uint64_t>(n);
+    w.measured_accesses = static_cast<std::uint64_t>(accesses);
+    w.compute_ops = static_cast<std::uint32_t>(compute_ops);
+    if (kind == "uni") {
+      w.dist = am::model::DistKind::kUniform;
+    } else if (kind == "norm") {
+      w.dist = am::model::DistKind::kNormal;
+      w.dist_a = static_cast<double>(n) / 2.0;  // mu
+      w.dist_b = static_cast<double>(n) / 8.0;  // sigma
+    } else if (kind == "exp") {
+      w.dist = am::model::DistKind::kExponential;
+      w.dist_a = 8.0 / static_cast<double>(n);  // lambda
+    } else if (kind == "tri") {
+      w.dist = am::model::DistKind::kTriangular;
+      w.dist_a = static_cast<double>(n) / 3.0;  // mode
+    } else {
+      throw std::invalid_argument(
+          "--workloads kind must be uni|norm|exp|tri, got '" + kind + "'");
+    }
+    w.name = kind + "-n" + std::to_string(n);
+    w.dist_name = w.name;
+    spec.workloads.push_back(std::move(w));
+  }
+  if (spec.workloads.empty())
+    throw std::invalid_argument("--workloads named no workloads");
+
+  for (std::size_t wi = 0; wi < spec.workloads.size(); ++wi) {
+    spec.points.push_back({wi, am::measure::Resource::kCacheStorage, 0});
+    for (std::uint32_t t = 1; t <= static_cast<std::uint32_t>(max_cs); ++t)
+      spec.points.push_back({wi, am::measure::Resource::kCacheStorage, t});
+    for (std::uint32_t t = 1; t <= static_cast<std::uint32_t>(max_bw); ++t)
+      spec.points.push_back({wi, am::measure::Resource::kBandwidth, t});
+  }
+
+  const auto text = am::measure::serialize_plan_spec(spec);
+  const auto out = cli.get("out", "");
+  if (out.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream file(out);
+    file << text;
+    if (!file.flush())
+      throw std::runtime_error("cannot write plan to '" + out + "'");
+    std::cout << "wrote " << spec.points.size() << "-point plan to " << out
+              << "\n";
+  }
+  return 0;
+}
+
+/// Serial in-process execution of a plan spec — the reference a daemon
+/// namespace store is byte-compared against.
+int cmd_run_local(const am::Cli& cli) {
+  const auto out = cli.get("out", "");
+  if (out.empty()) throw std::invalid_argument("--out STORE.tsv is required");
+  const auto spec = am::measure::parse_plan_spec(read_plan_text(cli));
+  const auto plan = am::measure::build_plan(spec);
+  const auto runner = am::measure::make_runner(spec);
+  auto store = am::measure::ResultStore::load_or_empty(out);
+  std::vector<std::size_t> owned(plan.size());
+  for (std::size_t i = 0; i < owned.size(); ++i) owned[i] = i;
+  std::size_t executed = 0;
+  runner.run_points(plan, nullptr, &store, owned, &executed);
+  store.save(out);
+  std::cout << "ran " << plan.size() << " points (" << executed
+            << " executed, " << (plan.size() - executed)
+            << " cached) into " << out << "\n";
+  return 0;
+}
+
+/// Hidden fault injector for the protocol test suite: opens a real
+/// connection and sends deliberately malformed bytes, then reports what
+/// the daemon did. Exit 0 = the daemon failed exactly this connection
+/// (error reply and/or close), nonzero = unexpected behaviour.
+int cmd_inject(const am::Cli& cli) {
+  const auto mode = cli.get("mode", "");
+  auto client = connect(cli);
+
+  const auto put16 = [](std::string& s, std::uint16_t v) {
+    s.push_back(static_cast<char>(v & 0xff));
+    s.push_back(static_cast<char>((v >> 8) & 0xff));
+  };
+  const auto put32 = [&](std::string& s, std::uint32_t v) {
+    put16(s, static_cast<std::uint16_t>(v & 0xffff));
+    put16(s, static_cast<std::uint16_t>(v >> 16));
+  };
+  const auto put64 = [&](std::string& s, std::uint64_t v) {
+    put32(s, static_cast<std::uint32_t>(v & 0xffffffffu));
+    put32(s, static_cast<std::uint32_t>(v >> 32));
+  };
+  const auto header = [&](std::uint16_t version, std::uint16_t type,
+                          std::uint64_t payload_len) {
+    std::string h;
+    put32(h, am::kFrameMagic);
+    put16(h, version);
+    put16(h, type);
+    put64(h, payload_len);
+    return h;
+  };
+
+  bool expect_reply = true;
+  std::string bytes;
+  if (mode == "garbage") {
+    bytes = "this is not a frame header at all................";
+  } else if (mode == "badversion") {
+    bytes = header(99, am::measure::kFrameStatus, 0);
+  } else if (mode == "oversize") {
+    bytes = header(am::kProtocolVersion, am::measure::kFrameSubmit,
+                   1ull << 40);
+  } else if (mode == "truncate") {
+    // A valid submit frame cut mid-payload, then an abrupt close: the
+    // daemon must treat EOF-with-pending-bytes as a protocol error.
+    const auto whole =
+        am::encode_frame({am::measure::kFrameSubmit, "ns\talice\n#am-plan"});
+    bytes = whole.substr(0, whole.size() / 2);
+    expect_reply = false;
+  } else {
+    throw std::invalid_argument(
+        "--mode must be garbage|badversion|oversize|truncate");
+  }
+
+  client.send_raw(bytes);
+  if (!expect_reply) {
+    client.socket().close();
+    std::cout << "inject " << mode << ": sent and closed mid-frame\n";
+    return 0;
+  }
+  try {
+    am::set_io_timeout(client.socket(), cli.get_double("timeout", 10.0));
+    const auto frame = am::read_frame(client.socket());
+    const auto reply = am::measure::parse_reply(frame.payload);
+    if (!reply || reply->ok) {
+      std::fprintf(stderr, "inject %s: daemon accepted malformed input\n",
+                   mode.c_str());
+      return 1;
+    }
+    std::cout << "inject " << mode << ": rejected — " << reply->error << "\n";
+  } catch (const am::SocketError&) {
+    // Connection dropped without a reply: also a clean containment.
+    std::cout << "inject " << mode << ": connection failed by daemon\n";
+  }
+  return 0;
+}
+
+int run_client(int argc, char** argv) {
+  const std::string cmd = argv[1];
+  // Re-parse without the subcommand word so Cli sees only flags.
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+  try {
+    const am::Cli cli(static_cast<int>(rest.size()), rest.data());
+    if (cmd == "submit") return cmd_submit(cli);
+    if (cmd == "status") return cmd_status(cli);
+    if (cmd == "cancel") return cmd_cancel(cli);
+    if (cmd == "wait") return cmd_wait(cli);
+    if (cmd == "mkplan") return cmd_mkplan(cli);
+    if (cmd == "run-local") return cmd_run_local(cli);
+    if (cmd == "_inject") return cmd_inject(cli);
+    std::fprintf(stderr, "amsweep: unknown subcommand '%s'\n", cmd.c_str());
+    return usage();
+  } catch (const am::SocketError& e) {
+    // No daemon answered (or it went away mid-request): retryable.
+    std::fprintf(stderr, "amsweep %s: %s\n", cmd.c_str(), e.what());
+    return 3;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "amsweep %s: %s\n", cmd.c_str(), e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "amsweep %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A bare word first is a daemon-client subcommand; flags (or nothing)
+  // mean the original orchestrator interface.
+  if (argc >= 2 && argv[1][0] != '\0' && argv[1][0] != '-')
+    return run_client(argc, argv);
+
   // Everything after the first bare "--" is the worker command, untouched
   // by flag parsing (driver flags must reach the driver verbatim).
   std::vector<std::string> own{argv[0]};

@@ -1,0 +1,264 @@
+#include "common/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace am {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& op) {
+  throw SocketError(op + ": " + std::strerror(errno));
+}
+
+/// Little-endian field writers/readers: the wire format must not depend
+/// on host byte order even though every current peer is little-endian.
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+std::uint16_t get_u16(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(u[0] | (u[1] << 8));
+}
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(get_u16(p)) |
+         (static_cast<std::uint32_t>(get_u16(p + 2)) << 16);
+}
+std::uint64_t get_u64(const char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw SocketError("unix socket path empty or too long (max " +
+                      std::to_string(sizeof(addr.sun_path) - 1) +
+                      " bytes): " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_unix(const std::string& path) {
+  const sockaddr_un addr = unix_addr(path);
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket(AF_UNIX)");
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (errno != EADDRINUSE) throw_errno("bind " + path);
+    // A socket file exists. Probe it: a live daemon accepts the connect
+    // (refuse to fight it); a dead one refuses, and its stale file may
+    // be replaced.
+    Socket probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (probe.valid() &&
+        ::connect(probe.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      throw SocketError("another daemon is already serving " + path);
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      throw_errno("bind " + path);
+  }
+  if (::listen(sock.fd(), SOMAXCONN) != 0) throw_errno("listen " + path);
+  return sock;
+}
+
+Socket connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_addr(path);
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket(AF_UNIX)");
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    throw_errno("connect " + path);
+  return sock;
+}
+
+Socket listen_tcp(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in addr = loopback_addr(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw_errno("bind 127.0.0.1:" + std::to_string(port));
+  if (::listen(sock.fd(), SOMAXCONN) != 0) throw_errno("listen tcp");
+  return sock;
+}
+
+Socket connect_tcp(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket(AF_INET)");
+  const sockaddr_in addr = loopback_addr(port);
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    throw_errno("connect 127.0.0.1:" + std::to_string(port));
+  return sock;
+}
+
+std::uint16_t local_port(const Socket& listener) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0)
+    throw_errno("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+std::optional<Socket> accept_connection(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd >= 0) return Socket(fd);
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+      errno == ECONNABORTED)
+    return std::nullopt;
+  throw_errno("accept");
+}
+
+void set_nonblocking(const Socket& sock, bool on) {
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(sock.fd(), F_SETFL, want) != 0) throw_errno("fcntl(F_SETFL)");
+}
+
+void set_io_timeout(const Socket& sock, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+std::string encode_frame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  put_u32(out, kFrameMagic);
+  put_u16(out, kProtocolVersion);
+  put_u16(out, frame.type);
+  put_u64(out, frame.payload.size());
+  out += frame.payload;
+  return out;
+}
+
+void write_frame(const Socket& sock, const Frame& frame) {
+  const std::string wire = encode_frame(frame);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    // MSG_NOSIGNAL: a peer that hung up mid-reply must be an EPIPE
+    // SocketError on this connection, never a process-wide SIGPIPE.
+    const ssize_t n = ::send(sock.fd(), wire.data() + sent,
+                             wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    if (n == 0) throw SocketError("send: connection closed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Frame read_frame(const Socket& sock, std::size_t max_payload) {
+  FrameReader reader(max_payload);
+  char buf[4096];
+  for (;;) {
+    if (auto frame = reader.next()) return *std::move(frame);
+    if (reader.failed()) throw SocketError("protocol: " + reader.error());
+    const ssize_t n = ::recv(sock.fd(), buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw SocketError("recv: timed out waiting for a frame");
+      throw_errno("recv");
+    }
+    if (n == 0)
+      throw SocketError(reader.pending_bytes() == 0
+                            ? "connection closed before a frame arrived"
+                            : "connection closed mid-frame (truncated)");
+    reader.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void FrameReader::feed(const char* data, std::size_t n) {
+  if (failed_) return;  // poisoned: drop everything after the error
+  buffer_.append(data, n);
+}
+
+void FrameReader::fail(const std::string& why) {
+  failed_ = true;
+  error_ = why;
+  buffer_.clear();
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (failed_ || buffer_.size() < kFrameHeaderBytes) return std::nullopt;
+  const char* h = buffer_.data();
+  if (get_u32(h) != kFrameMagic) {
+    fail("bad frame magic (garbage bytes on the connection)");
+    return std::nullopt;
+  }
+  const std::uint16_t version = get_u16(h + 4);
+  if (version != kProtocolVersion) {
+    fail("unsupported protocol version " + std::to_string(version) +
+         " (this daemon speaks v" + std::to_string(kProtocolVersion) + ")");
+    return std::nullopt;
+  }
+  const std::uint64_t len = get_u64(h + 8);
+  if (len > max_payload_) {
+    fail("oversized frame: length prefix " + std::to_string(len) +
+         " exceeds the " + std::to_string(max_payload_) + "-byte bound");
+    return std::nullopt;
+  }
+  if (buffer_.size() < kFrameHeaderBytes + len) return std::nullopt;
+  Frame frame;
+  frame.type = get_u16(h + 6);
+  frame.payload = buffer_.substr(kFrameHeaderBytes, len);
+  buffer_.erase(0, kFrameHeaderBytes + static_cast<std::size_t>(len));
+  return frame;
+}
+
+}  // namespace am

@@ -1,0 +1,154 @@
+#pragma once
+// Stream sockets and length-prefixed message framing — the transport
+// under the amsweepd daemon protocol (measure/daemon.hpp). Two layers,
+// deliberately separated:
+//
+//   * Byte transport: an RAII `Socket` over a Unix-domain or loopback
+//     TCP stream, with throwing connect/listen factories, non-blocking
+//     accept, and best-effort I/O timeouts. Unix sockets are the
+//     default (filesystem permissions are the access control); the TCP
+//     listener binds 127.0.0.1 only — the protocol carries no
+//     authentication, so anything non-local must ride an SSH tunnel.
+//   * Message framing: every message is a fixed 16-byte little-endian
+//     header (magic, protocol version, frame type, payload length)
+//     followed by the payload. The frame layer knows nothing about what
+//     payloads mean; frame *types* belong to the protocol built on top.
+//
+// The framing exists to make malformed input a first-class, *clean*
+// outcome. A server feeding bytes to a `FrameReader` gets exactly one
+// of: a complete frame, "need more bytes", or a terminal per-connection
+// error naming what was wrong (garbage magic, unsupported version,
+// oversized length prefix, truncation at close). It can never be made
+// to allocate more than its configured payload bound, block on a slow
+// sender, or tear down anything beyond the offending connection.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace am {
+
+/// Transport and framing failures. what() names the operation and errno
+/// text; connection-scoped by construction — callers drop the one socket
+/// and carry on.
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// "AMSW" — the first four bytes of every well-formed frame. Anything
+/// else is garbage and fails the connection immediately.
+inline constexpr std::uint32_t kFrameMagic = 0x57534D41u;  // 'A','M','S','W' LE
+/// Bump on any incompatible header or payload-contract change; readers
+/// reject other versions with a clean error instead of misparsing.
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Default payload bound. Plans are small text files; a length prefix
+/// beyond this is a hostile or corrupt frame, not a big plan.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// One protocol message: a type tag plus an opaque payload. Types are
+/// defined by the protocol layer (measure/daemon.hpp).
+struct Frame {
+  std::uint16_t type = 0;
+  std::string payload;
+};
+
+/// Move-only RAII file descriptor for a stream socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a Unix-domain socket at `path`. A stale socket
+/// file from a dead daemon (nothing accepts connections on it) is
+/// silently replaced; a *live* one — another daemon is serving — throws,
+/// so two daemons can never share a results directory unnoticed.
+Socket listen_unix(const std::string& path);
+
+/// Connects to the Unix-domain socket at `path`. Throws SocketError when
+/// nothing is listening.
+Socket connect_unix(const std::string& path);
+
+/// Listens on 127.0.0.1:`port` (0 = kernel-assigned; read it back with
+/// local_port). Loopback only by design — see the file comment.
+Socket listen_tcp(std::uint16_t port);
+
+/// Connects to 127.0.0.1:`port`.
+Socket connect_tcp(std::uint16_t port);
+
+/// The locally bound port of a listening TCP socket (resolves port 0).
+std::uint16_t local_port(const Socket& listener);
+
+/// Accepts one pending connection; nullopt when none is pending (the
+/// listener should be non-blocking for a polling server). Throws on real
+/// accept failures.
+std::optional<Socket> accept_connection(const Socket& listener);
+
+void set_nonblocking(const Socket& sock, bool on);
+
+/// Best-effort SO_RCVTIMEO/SO_SNDTIMEO (0 disables): a wedged or
+/// malicious peer turns into a SocketError instead of a hung caller.
+void set_io_timeout(const Socket& sock, double seconds);
+
+/// The 16-byte header + payload encoding of `frame`.
+std::string encode_frame(const Frame& frame);
+
+/// Blocking framed send (EINTR-safe, SIGPIPE-suppressed). Throws
+/// SocketError on short writes, timeouts, or a peer that went away.
+void write_frame(const Socket& sock, const Frame& frame);
+
+/// Blocking framed receive of exactly one frame. Throws SocketError on
+/// EOF (clean or mid-frame), timeout, or any FrameReader protocol error.
+Frame read_frame(const Socket& sock,
+                 std::size_t max_payload = kDefaultMaxFrameBytes);
+
+/// Incremental frame parser for polling servers: feed() whatever bytes
+/// arrived, then drain next() until it returns nullopt. Once failed()
+/// the reader is poisoned — the connection is unrecoverable by contract
+/// (stream framing cannot resynchronize past a bad header) — and next()
+/// never yields another frame.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload = kDefaultMaxFrameBytes)
+      : max_payload_(max_payload) {}
+
+  void feed(const char* data, std::size_t n);
+
+  /// The next complete frame, if one is buffered. Returns nullopt both
+  /// for "need more bytes" and after a protocol error — check failed()
+  /// to distinguish.
+  std::optional<Frame> next();
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed — nonzero at connection close
+  /// means the peer truncated a frame mid-send.
+  std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  void fail(const std::string& why);
+
+  std::string buffer_;
+  std::size_t max_payload_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace am

@@ -39,6 +39,16 @@ struct LeaseOffer {
   /// ack (the scheduler judges the shutdown by exit status, not by a
   /// receipt). A done offer carries no points.
   bool done = false;
+  /// Multi-plan scheduling (measure::SweepDaemon): the serialized plan
+  /// the batch's indices refer to, the store file the worker must
+  /// record results into, and an optional read-only store to seed its
+  /// cache from. All empty in the single-plan orchestrator handoff —
+  /// there the worker already owns its plan and store paths; writers
+  /// omit empty fields and legacy readers ignore unknown keys, so the
+  /// two generations of lease files interoperate.
+  std::string plan_path;
+  std::string store_path;
+  std::string seed_store_path;
 };
 
 /// A worker's receipt for one completed lease.

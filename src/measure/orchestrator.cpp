@@ -522,7 +522,9 @@ void SweepOrchestrator::run_lease(OrchestratorReport& report,
     WorkLease lease = std::move(queue.front());
     queue.pop_front();
     lease.id = next_id++;
-    write_lease_offer(s.lease, {lease, /*done=*/false});
+    LeaseOffer off;
+    off.lease = lease;
+    write_lease_offer(s.lease, off);
     LeaseLogEntry entry;
     entry.id = lease.id;
     entry.worker = w;
@@ -533,9 +535,10 @@ void SweepOrchestrator::run_lease(OrchestratorReport& report,
     s.has_current = true;
   };
   const auto offer_done = [&](Slot& s) {
-    WorkLease done;
-    done.id = next_id++;
-    write_lease_offer(s.lease, {done, /*done=*/true});
+    LeaseOffer off;
+    off.lease.id = next_id++;
+    off.done = true;
+    write_lease_offer(s.lease, off);
     s.done_offered = true;
   };
   const auto find_entry = [&](std::uint64_t id) -> LeaseLogEntry* {

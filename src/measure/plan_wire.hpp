@@ -1,0 +1,117 @@
+#pragma once
+// A declarative, serializable description of an experiment grid — the
+// wire format under `amsweep submit` and the amsweepd daemon protocol.
+//
+// An ExperimentPlan itself cannot travel: its workload axis is a vector
+// of opaque factories (std::function closures over app configs). A
+// PlanSpec is the declarative counterpart — machine geometry, run
+// options, interference configs, and workload *parameters* — from which
+// `build_plan`/`make_runner` reconstruct an identical plan on the other
+// side of the socket. "Identical" is a bit-exactness contract, the same
+// one the ResultStore TSV carries: the spec round-trips through
+// serialize/parse without loss (doubles travel as hexfloat), and two
+// processes that build from equal specs produce equal ScenarioKeys and
+// equal results. That is what lets a daemon seed one tenant's sweep
+// from another tenant's cached points.
+//
+// Format (`#am-plan-spec v1`): one tab-separated record per line —
+// machine, run, cs, bw, any number of workload/point lines, and a
+// mandatory `end` trailer that turns silent truncation into a parse
+// error. Unknown leading keywords are rejected (a spec is an *input*
+// from an untrusted client, unlike the lease files whose writers we
+// control), and every parse failure names its line.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "interfere/bwthr_agent.hpp"
+#include "interfere/csthr_agent.hpp"
+#include "measure/experiment_plan.hpp"
+#include "measure/interference_spec.hpp"
+#include "model/distributions.hpp"
+#include "sim/machine.hpp"
+
+namespace am::measure {
+
+/// One workload axis entry, by parameters instead of by factory.
+struct WorkloadWire {
+  enum class Kind : std::uint8_t { kSynthetic, kMcb, kLulesh };
+  Kind kind = Kind::kSynthetic;
+  std::string name;  // ResultStore identity; no tabs/newlines
+
+  // kSynthetic: a probabilistic benchmark over a buffer of `n` elements.
+  model::DistKind dist = model::DistKind::kUniform;
+  std::string dist_name;        // AccessDistribution display name
+  std::uint64_t n = 0;          // buffer elements
+  double dist_a = 0.0;          // normal: mu; exponential: lambda; triangular: mode
+  double dist_b = 0.0;          // normal: sigma; unused otherwise
+  std::uint64_t element_bytes = 4;
+  std::uint32_t compute_ops = 1;
+  std::uint64_t warmup_accesses = 0;
+  std::uint64_t measured_accesses = 1'000'000;
+
+  // kMcb / kLulesh: the paper-shaped proxies, scaled.
+  std::uint32_t ranks = 0;
+  std::uint32_t per_socket = 0;
+  std::uint32_t particles = 0;  // kMcb
+  std::uint32_t edge = 0;       // kLulesh
+  std::uint32_t steps = 0;
+  std::uint32_t app_scale = 1;
+};
+
+struct PointWire {
+  std::size_t workload = 0;  // index into PlanSpec::workloads
+  Resource resource = Resource::kCacheStorage;
+  std::uint32_t threads = 0;
+};
+
+/// Everything needed to rebuild a machine + runner + plan elsewhere.
+/// cs/bw ride along because spec_signature — and therefore every store
+/// key — depends on them; a spec that omitted them could silently remap
+/// a tenant's results onto foreign cache entries.
+struct PlanSpec {
+  std::uint32_t machine_scale = 64;
+  std::uint32_t machine_nodes = 1;
+  std::string mem_backend = "channel";
+
+  std::uint64_t seed = 1;
+  std::uint64_t max_cycles = UINT64_MAX / 4;
+  bool mix_seed_per_point = true;
+
+  interfere::CSThrConfig cs;
+  interfere::BWThrConfig bw;
+
+  std::vector<WorkloadWire> workloads;
+  std::vector<PointWire> points;
+};
+
+bool operator==(const WorkloadWire& a, const WorkloadWire& b);
+bool operator==(const PointWire& a, const PointWire& b);
+bool operator==(const PlanSpec& a, const PlanSpec& b);
+
+/// The canonical `#am-plan-spec v1` text. Throws std::invalid_argument
+/// on an unserializable spec (names with tabs/newlines, point indices
+/// out of range) — validation happens on the way *in* to the wire, so a
+/// parsed spec is always rebuildable.
+std::string serialize_plan_spec(const PlanSpec& spec);
+
+/// Parses serialize_plan_spec output. Throws std::invalid_argument on
+/// anything malformed, naming the offending line; a missing `end`
+/// trailer (truncated transfer) is malformed.
+PlanSpec parse_plan_spec(const std::string& text);
+
+/// The simulated machine the spec describes.
+sim::MachineConfig make_machine(const PlanSpec& spec);
+
+/// Rebuilds the executable plan: workload factories from the wire
+/// parameters, grid points in spec order.
+ExperimentPlan build_plan(const PlanSpec& spec);
+
+/// A SweepRunner with the spec's machine, seed discipline, cycle budget
+/// and interference configs — key_for/run_points on it reproduce the
+/// submitter's store keys exactly.
+SweepRunner make_runner(const PlanSpec& spec,
+                        std::function<void(const ResultStore&)> checkpoint = {});
+
+}  // namespace am::measure

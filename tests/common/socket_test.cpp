@@ -1,0 +1,206 @@
+// Transport + framing coverage for common/socket: frame round-trips
+// (whole and byte-at-a-time), each malformed-input class failing a
+// FrameReader with a clean terminal error, and real Unix/TCP socket
+// round-trips including stale-socket-file recovery. The daemon-level
+// consequences (one bad connection never disturbs other tenants) are
+// covered in measure/amsweepd_test.
+#include "common/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+namespace am {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string short_sock_path(const std::string& tag) {
+  // sun_path caps Unix socket paths around 100 bytes; stay short and
+  // unique enough for parallel ctest shards.
+  return (fs::temp_directory_path() /
+          ("am_sock_" + tag + "_" + std::to_string(::getpid()) + ".sock"))
+      .string();
+}
+
+TEST(FrameCodec, RoundTripsThroughReader) {
+  const Frame frame{7, "hello\tworld\nwith binary \x01\x00 bytes"};
+  const std::string wire = encode_frame(frame);
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes + frame.payload.size());
+
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, frame.type);
+  EXPECT_EQ(got->payload, frame.payload);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.failed());
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(FrameCodec, ByteAtATimeFeedYieldsSameFrames) {
+  const Frame a{1, "first"};
+  const Frame b{2, ""};  // empty payloads are legal
+  const std::string wire = encode_frame(a) + encode_frame(b);
+
+  FrameReader reader;
+  std::size_t frames = 0;
+  for (const char c : wire) {
+    reader.feed(&c, 1);
+    while (const auto got = reader.next()) {
+      if (frames == 0) {
+        EXPECT_EQ(got->type, a.type);
+        EXPECT_EQ(got->payload, a.payload);
+      } else {
+        EXPECT_EQ(got->type, b.type);
+        EXPECT_EQ(got->payload, b.payload);
+      }
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, 2u);
+  EXPECT_FALSE(reader.failed());
+}
+
+TEST(FrameCodec, GarbageBytesFailTheReader) {
+  FrameReader reader;
+  const std::string garbage = "GET / HTTP/1.1\r\nHost: nope\r\n\r\n";
+  reader.feed(garbage.data(), garbage.size());
+  EXPECT_FALSE(reader.next().has_value());
+  ASSERT_TRUE(reader.failed());
+  EXPECT_NE(reader.error().find("magic"), std::string::npos)
+      << reader.error();
+}
+
+TEST(FrameCodec, WrongProtocolVersionFails) {
+  std::string wire = encode_frame({3, "payload"});
+  wire[4] = 99;  // version lives at offset 4, little-endian
+  wire[5] = 0;
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  EXPECT_FALSE(reader.next().has_value());
+  ASSERT_TRUE(reader.failed());
+  EXPECT_NE(reader.error().find("version"), std::string::npos)
+      << reader.error();
+}
+
+TEST(FrameCodec, OversizedLengthPrefixFailsWithoutAllocating) {
+  std::string wire = encode_frame({3, ""});
+  // Patch the u64 length at offset 8 to 1 TiB.
+  for (std::size_t i = 0; i < 8; ++i) wire[8 + i] = 0;
+  wire[8 + 5] = 1;  // 1 << 40
+  FrameReader reader(1 << 20);
+  reader.feed(wire.data(), wire.size());
+  EXPECT_FALSE(reader.next().has_value());
+  ASSERT_TRUE(reader.failed());
+  EXPECT_NE(reader.error().find("oversized"), std::string::npos)
+      << reader.error();
+}
+
+TEST(FrameCodec, PoisonedReaderNeverRecovers) {
+  FrameReader reader;
+  const std::string garbage(32, 'x');
+  reader.feed(garbage.data(), garbage.size());
+  EXPECT_FALSE(reader.next().has_value());
+  ASSERT_TRUE(reader.failed());
+  // A well-formed frame after the poison must NOT come back: stream
+  // framing cannot resynchronize past a bad header.
+  const std::string wire = encode_frame({1, "late"});
+  reader.feed(wire.data(), wire.size());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(FrameCodec, TruncatedFrameLeavesPendingBytes) {
+  const std::string wire = encode_frame({5, "a long enough payload"});
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size() / 2);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.failed());  // just needs more bytes...
+  EXPECT_GT(reader.pending_bytes(), 0u);  // ...which is how EOF callers
+                                          // detect a mid-frame close
+}
+
+TEST(SocketTransport, UnixRoundTrip) {
+  const std::string path = short_sock_path("rt");
+  fs::remove(path);
+  Socket listener = listen_unix(path);
+  Socket client = connect_unix(path);
+  set_nonblocking(listener, true);
+  const auto server = accept_connection(listener);
+  ASSERT_TRUE(server.has_value());
+
+  write_frame(client, {11, "ping"});
+  const Frame req = read_frame(*server);
+  EXPECT_EQ(req.type, 11);
+  EXPECT_EQ(req.payload, "ping");
+  write_frame(*server, {12, "pong"});
+  const Frame resp = read_frame(client);
+  EXPECT_EQ(resp.type, 12);
+  EXPECT_EQ(resp.payload, "pong");
+  fs::remove(path);
+}
+
+TEST(SocketTransport, StaleSocketFileIsReplacedLiveOneRefused) {
+  const std::string path = short_sock_path("stale");
+  fs::remove(path);
+  {
+    Socket listener = listen_unix(path);
+    // A *live* listener must make a second daemon fail loudly.
+    EXPECT_THROW(listen_unix(path), SocketError);
+  }
+  // Listener gone, socket file still on disk: a stale file from a dead
+  // daemon must not block the next start.
+  ASSERT_TRUE(fs::exists(path));
+  EXPECT_NO_THROW({ Socket again = listen_unix(path); });
+  fs::remove(path);
+}
+
+TEST(SocketTransport, ConnectWithNoListenerThrows) {
+  const std::string path = short_sock_path("none");
+  fs::remove(path);
+  EXPECT_THROW(connect_unix(path), SocketError);
+}
+
+TEST(SocketTransport, TcpKernelAssignedPortRoundTrip) {
+  Socket listener = listen_tcp(0);
+  const std::uint16_t port = local_port(listener);
+  ASSERT_GT(port, 0);
+  Socket client = connect_tcp(port);
+  set_nonblocking(listener, true);
+  const auto server = accept_connection(listener);
+  ASSERT_TRUE(server.has_value());
+  write_frame(client, {21, "over tcp"});
+  const Frame req = read_frame(*server);
+  EXPECT_EQ(req.type, 21);
+  EXPECT_EQ(req.payload, "over tcp");
+}
+
+TEST(SocketTransport, ReadFrameReportsPeerClose) {
+  const std::string path = short_sock_path("eof");
+  fs::remove(path);
+  Socket listener = listen_unix(path);
+  Socket client = connect_unix(path);
+  set_nonblocking(listener, true);
+  auto server = accept_connection(listener);
+  ASSERT_TRUE(server.has_value());
+  client.close();
+  EXPECT_THROW(read_frame(*server), SocketError);
+  fs::remove(path);
+}
+
+TEST(SocketTransport, AcceptWithNothingPendingIsNullopt) {
+  const std::string path = short_sock_path("idle");
+  fs::remove(path);
+  Socket listener = listen_unix(path);
+  set_nonblocking(listener, true);
+  EXPECT_FALSE(accept_connection(listener).has_value());
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace am
