@@ -25,31 +25,56 @@ std::optional<Heartbeat> read_heartbeat(const std::string& path) {
 HeartbeatWriter::HeartbeatWriter(std::string path, double interval_seconds)
     : path_(std::move(path)), interval_(interval_seconds) {
   write_beat();  // visible before the constructor returns
+  // join_mutex_ is uncontended here (nobody can stop() a writer that is
+  // still constructing); taken only to satisfy thread_'s lock annotation.
+  const MutexLock join_lock(join_mutex_);
   thread_ = std::thread([this] {
-    std::unique_lock<std::mutex> lock(mutex_);
-    while (!cv_.wait_for(lock, std::chrono::duration<double>(interval_),
-                         [this] { return stopped_; }))
-      write_beat();
+    MutexLock lock(mutex_);
+    // Explicit loop rather than the lambda-predicate wait_for overload:
+    // the stop flag is atomic, not mutex-guarded, and the open-coded form
+    // keeps the acquire loads visible where they happen.
+    while (!stopped_.load(std::memory_order_acquire)) {
+      if (cv_.wait_for(lock.native(),
+                       std::chrono::duration<double>(interval_)) ==
+              std::cv_status::timeout &&
+          !stopped_.load(std::memory_order_acquire)) {
+        write_beat();
+      }
+    }
   });
 }
 
 HeartbeatWriter::~HeartbeatWriter() { stop(); }
 
 void HeartbeatWriter::stop() {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (stopped_ && !thread_.joinable()) return;
-    stopped_ = true;
-  }
+  // Release store, then an empty critical section on the CV's mutex, then
+  // notify. The middle step is what makes the wakeup reliable: the writer
+  // thread checks the flag while holding mutex_, so once we have acquired
+  // and dropped it, the writer is either past the check (will see the
+  // flag on its next iteration) or already parked in wait_for (will get
+  // the notify). Without it, stop() could run entirely inside the
+  // writer's check-to-wait window and the notify would be lost.
+  stopped_.store(true, std::memory_order_release);
+  { const MutexLock lock(mutex_); }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  // Regression note: concurrent stop() calls used to race on the join —
+  // both callers could pass a joinable() check under mutex_, release it,
+  // and then both call thread_.join() (undefined behaviour). A dedicated
+  // join mutex serializes them; the loser sees a no-longer-joinable
+  // thread and falls through.
+  {
+    const MutexLock lock(join_mutex_);
+    if (thread_.joinable()) thread_.join();
+  }
   std::error_code ec;
   std::filesystem::remove(path_, ec);  // best effort
 }
 
 void HeartbeatWriter::write_beat() {
+  const std::uint64_t beat =
+      beats_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::ostringstream out;
-  out << static_cast<std::uint64_t>(::getpid()) << '\t' << ++beats_ << '\n';
+  out << static_cast<std::uint64_t>(::getpid()) << '\t' << beat << '\n';
   // Atomic so a reader never sees a torn beat; a failed write (unwritable
   // directory) leaves us silently beatless — absence is the signal.
   try_atomic_write_file(path_, out.str());

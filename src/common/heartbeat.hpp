@@ -17,10 +17,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace am {
 
@@ -49,21 +51,41 @@ class HeartbeatWriter {
   HeartbeatWriter(const HeartbeatWriter&) = delete;
   HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
 
-  /// Joins the writer thread and removes the file. Idempotent.
+  /// Joins the writer thread and removes the file. Idempotent, and safe
+  /// to call from several threads at once (the join is serialized); only
+  /// destruction itself must be externally synchronized, as usual.
   void stop();
 
   const std::string& path() const { return path_; }
+
+  /// Beats written so far (the constructor writes the first one). Relaxed
+  /// read: a monotonic progress probe for tests and debugging, not a
+  /// synchronization edge — supervisors read the *file*, whose visibility
+  /// is ordered by the atomic rename inside try_atomic_write_file.
+  std::uint64_t beats() const {
+    return beats_.load(std::memory_order_relaxed);
+  }
 
  private:
   void write_beat();
 
   std::string path_;
   double interval_;
-  std::uint64_t beats_ = 0;
-  bool stopped_ = false;
-  std::mutex mutex_;
+  /// Incremented only by the writer thread (and the constructor, before
+  /// that thread exists — thread creation orders those two). Relaxed is
+  /// sufficient: no other data is published through this counter.
+  std::atomic<std::uint64_t> beats_{0};
+  /// Stop request. stop() stores with release before notifying; the
+  /// writer thread loads with acquire, so everything stop()'s caller did
+  /// before stopping happens-before the writer's final wakeup. The
+  /// store-then-lock-then-notify sequence in stop() closes the classic
+  /// lost-wakeup window (flag checked, then stop runs entirely, then CV
+  /// wait starts — the empty critical section on mutex_ forbids it).
+  std::atomic<bool> stopped_{false};
+  Mutex mutex_;  // the CV's mutex; the writer thread holds it while awake
   std::condition_variable cv_;
-  std::thread thread_;
+  Mutex join_mutex_;
+  std::thread thread_ AM_GUARDED_BY(join_mutex_);
 };
 
 }  // namespace am

@@ -1,0 +1,58 @@
+#pragma once
+// Annotated mutex wrappers for clang's -Wthread-safety analysis.
+//
+// libstdc++ ships std::mutex / std::lock_guard without capability
+// annotations (only libc++ opts in, behind a macro), so clang's analysis
+// cannot see acquisitions made through them: AM_GUARDED_BY members would
+// warn on every access, even correct ones. These wrappers are the
+// annotated equivalents — zero-cost shims over std::mutex and
+// std::unique_lock — and are what mutex-holding classes in this codebase
+// use so that lock discipline is compiler-checked under clang and
+// identical machine code under gcc.
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace am {
+
+/// std::mutex with clang capability annotations. Interface-compatible
+/// with BasicLockable, so std::lock_guard<Mutex> also works — but prefer
+/// MutexLock, which the analysis understands as a scoped acquisition.
+class AM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AM_ACQUIRE() { m_.lock(); }
+  void unlock() AM_RELEASE() { m_.unlock(); }
+  bool try_lock() AM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+/// RAII lock over am::Mutex, annotated as a scoped capability.
+///
+/// Internally holds a std::unique_lock on the underlying std::mutex so a
+/// std::condition_variable can wait on it via native(). The analysis
+/// models the Mutex as held for the whole MutexLock scope; a CV wait's
+/// temporary release is invisible to it, which is the right abstraction —
+/// guarded state is only ever examined with the lock actually held.
+class AM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) AM_ACQUIRE(m) : lock_(m.m_) {}
+  ~MutexLock() AM_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// The underlying lock, for std::condition_variable::wait and friends.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace am

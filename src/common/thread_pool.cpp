@@ -1,7 +1,6 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 namespace am {
 
@@ -15,9 +14,15 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
+// CV waits below use explicit while-loops instead of the lambda-predicate
+// overload: a lambda body is a separate function to clang's thread-safety
+// analysis, so guarded members read inside one would need their own
+// annotations. The open-coded loop keeps every guarded access lexically
+// inside the MutexLock scope, where the analysis can verify it.
+
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -26,23 +31,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   cv_task_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || in_flight_ != 0) cv_idle_.wait(lock.native());
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(lock.native());
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -50,7 +55,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }

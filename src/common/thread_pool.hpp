@@ -6,9 +6,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace am {
 
@@ -31,13 +33,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  std::vector<std::thread> workers_;  // written only in the constructor
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ AM_GUARDED_BY(mutex_);
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::size_t in_flight_ AM_GUARDED_BY(mutex_) = 0;
+  bool stop_ AM_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for i in [0, n) across the pool's threads and waits.

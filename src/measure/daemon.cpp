@@ -587,7 +587,7 @@ DaemonReport SweepDaemon::run(std::ostream& log) {
   const auto handle_frame = [&](Conn& conn, const Frame& frame) {
     if (frame.type == kFrameSubmit) {
       DaemonReply r;
-      if (drain_.load(std::memory_order_relaxed)) {
+      if (drain_.load(std::memory_order_acquire)) {
         r.retry = true;
         r.error = "daemon is draining; retry after it restarts";
         send_reply(conn, r);
@@ -798,7 +798,8 @@ DaemonReport SweepDaemon::run(std::ostream& log) {
   };
 
   while (true) {
-    const bool draining = drain_.load(std::memory_order_relaxed);
+    // Acquire pairs with request_drain()'s release store (see daemon.hpp).
+    const bool draining = drain_.load(std::memory_order_acquire);
     bool progressed = false;
 
     // Accept pending connections on both listeners.
@@ -989,7 +990,9 @@ DaemonReport SweepDaemon::run(std::ostream& log) {
       // it wrote on the way out.
       progressed = true;
       s.live = false;
-      const ExitStatus status = *s.proc.status();
+      // Already reaped (running() returned false); wait() hands back the
+      // cached status instead of dereferencing the optional unchecked.
+      const ExitStatus status = s.proc.wait();
       if (!status.signaled && status.code == 2) {
         // Usage rejection: this worker cannot run this offer, and no
         // retry will change that — but unlike the one-shot

@@ -167,10 +167,14 @@ class SweepDaemon {
   /// results directory. Failures are reported, not thrown.
   DaemonReport run(std::ostream& log);
 
-  /// Async-signal-safe drain request (an atomic store): the serving
-  /// loop finishes in-flight leases, persists the queue, answers
+  /// Async-signal-safe drain request (a lock-free atomic store): the
+  /// serving loop finishes in-flight leases, persists the queue, answers
   /// waiters retry-later, and returns. Callable from a SIGTERM handler.
-  void request_drain() { drain_.store(true, std::memory_order_relaxed); }
+  /// Release order pairs with the serving loop's acquire load so that a
+  /// *thread* requesting drain has its prior writes visible to the drain
+  /// path; for the signal-handler case release is equivalent to relaxed
+  /// (same thread), and both are async-signal-safe.
+  void request_drain() { drain_.store(true, std::memory_order_release); }
 
   /// True when the namespace is usable as a file-name component:
   /// 1-64 chars of [A-Za-z0-9_-].

@@ -2,9 +2,9 @@
 
 #include <chrono>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "common/work_lease.hpp"
 #include "interfere/host_identity.hpp"
@@ -227,7 +227,10 @@ ResultTable SweepRunner::run_points(const ExperimentPlan& plan,
   const std::string host = store != nullptr && !todo.empty()
                                ? interfere::HostIdentity::detect().fingerprint()
                                : std::string();
-  std::mutex store_mutex;
+  // Guards the shared store across pool workers. A local capability,
+  // so clang's -Wthread-safety cannot attach it to members — TSan (the
+  // tsan preset runs the sweep suites) checks this one dynamically.
+  Mutex store_mutex;
   std::vector<std::exception_ptr> errors(todo.size());
   auto run_one = [&](std::size_t t) {
     try {
@@ -255,7 +258,7 @@ ResultTable SweepRunner::run_points(const ExperimentPlan& plan,
         // what's missing from the last save.
         // Completion order varies under a pool, but records are keyed and
         // the store file is canonically sorted — determinism is untouched.
-        const std::lock_guard<std::mutex> lock(store_mutex);
+        const MutexLock lock(store_mutex);
         store->put(key_for(plan, i), results[todo[t]], host, wall);
         if (opts_.checkpoint) opts_.checkpoint(*store);
       }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -54,6 +55,42 @@ TEST(Heartbeat, StopIsIdempotent) {
   HeartbeatWriter writer(path, 0.01);
   writer.stop();
   writer.stop();  // second stop must be a no-op, not a crash/deadlock
+  EXPECT_FALSE(fs::exists(path));
+}
+
+// Start/stop/restart churn with a concurrent reader and racing stop()
+// callers. Primarily a TSan workload (run under `cmake --preset tsan`):
+// it exercises the stop-flag handoff, the lost-wakeup fence in stop(),
+// and the join serialization that concurrent stop() relies on. The
+// regression it pins down: two threads calling stop() at once used to
+// both reach thread_.join().
+TEST(Heartbeat, StartStopRestartStress) {
+  const auto path = temp_path("stress.hb");
+  fs::remove(path);
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    // read_heartbeat races with writer rewrites and removal by design;
+    // the atomic rename means it sees a whole beat or no file at all.
+    while (!done.load(std::memory_order_acquire)) {
+      if (const auto hb = read_heartbeat(path)) {
+        EXPECT_EQ(hb->pid, static_cast<std::uint64_t>(::getpid()));
+      }
+    }
+  });
+  std::uint64_t last_beats = 0;
+  for (int round = 0; round < 25; ++round) {
+    HeartbeatWriter writer(path, /*interval_seconds=*/0.001);
+    EXPECT_GE(writer.beats(), 1u);  // constructor wrote the first beat
+    std::thread s1([&] { writer.stop(); });
+    std::thread s2([&] { writer.stop(); });
+    s1.join();
+    s2.join();
+    last_beats = writer.beats();
+    // ~writer runs a third stop() here, after the racing pair.
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_GE(last_beats, 1u);
   EXPECT_FALSE(fs::exists(path));
 }
 

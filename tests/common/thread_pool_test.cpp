@@ -64,5 +64,28 @@ TEST(ThreadPool, DefaultSizeIsPositive) {
   EXPECT_GT(pool.size(), 0u);
 }
 
+// Many producer threads racing submit() against the workers and against
+// pool destruction. Primarily a TSan workload (run under
+// `cmake --preset tsan`): it exercises the queue/in_flight/stop handoff
+// that the AM_GUARDED_BY annotations promise is mutex-protected.
+TEST(ThreadPool, ConcurrentSubmittersStress) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::thread> producers;
+    producers.reserve(4);
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&] {
+        for (int i = 0; i < 250; ++i) pool.submit([&] { ++count; });
+      });
+    }
+    for (auto& t : producers) t.join();
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 1000);
+    // ~pool joins workers with an empty queue here.
+  }
+  EXPECT_EQ(count.load(), 1000);
+}
+
 }  // namespace
 }  // namespace am
