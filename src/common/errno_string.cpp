@@ -1,0 +1,30 @@
+#include "common/errno_string.hpp"
+
+#include <string.h>
+
+namespace am {
+
+namespace {
+
+std::string fallback(int err) { return "errno " + std::to_string(err); }
+
+// strerror_r(3) has two variants: glibc's returns char* (possibly a
+// pointer to a static table entry, ignoring buf), POSIX's returns int
+// with the text written into buf. Overload resolution absorbs whichever
+// one the libc provides, so the same source builds against either;
+// [[maybe_unused]] because exactly one overload is ever selected.
+[[maybe_unused]] std::string errno_text(char* r, const char*, int err) {
+  return r != nullptr ? std::string(r) : fallback(err);
+}
+[[maybe_unused]] std::string errno_text(int r, const char* buf, int err) {
+  return r == 0 ? std::string(buf) : fallback(err);
+}
+
+}  // namespace
+
+std::string errno_string(int err) {
+  char buf[256] = {};
+  return errno_text(strerror_r(err, buf, sizeof(buf)), buf, err);
+}
+
+}  // namespace am

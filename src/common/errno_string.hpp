@@ -1,0 +1,16 @@
+#pragma once
+// Thread-safe errno formatting. strerror(3) returns a pointer into
+// static storage, so two threads describing different errors can tear
+// each other's messages — and sweeps spawn workers and serve sockets
+// from several threads at once. errno_string is the reentrant
+// replacement; code in this repo must not call strerror directly
+// (enforced by clang-tidy's concurrency-mt-unsafe check).
+#include <string>
+
+namespace am {
+
+/// The strerror(3) text for `err`, or "errno N" when the libc has no
+/// message for it. Reentrant; callable from any thread.
+std::string errno_string(int err);
+
+}  // namespace am

@@ -11,12 +11,14 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/errno_string.hpp"
+
 namespace am {
 
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& op) {
-  throw SocketError(op + ": " + std::strerror(errno));
+  throw SocketError(op + ": " + errno_string(errno));
 }
 
 /// Little-endian field writers/readers: the wire format must not depend
@@ -78,7 +80,10 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 
 void Socket::close() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    // (void): POSIX leaves the fd state after a failed close unspecified
+    // but it is gone on Linux either way; retrying risks closing a
+    // reused descriptor, and close() must stay nothrow for destructors.
+    (void)::close(fd_);
     fd_ = -1;
   }
 }
@@ -122,7 +127,9 @@ Socket listen_tcp(std::uint16_t port) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) throw_errno("socket(AF_INET)");
   const int one = 1;
-  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0)
+    throw_errno("setsockopt(SO_REUSEADDR)");
   const sockaddr_in addr = loopback_addr(port);
   if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0)
@@ -170,8 +177,13 @@ void set_io_timeout(const Socket& sock, double seconds) {
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(seconds);
   tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
-  ::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(sock.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  // Checked: a silently absent timeout turns a dead peer into an
+  // indefinitely parked connection, which is exactly what callers of
+  // set_io_timeout are defending against.
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0)
+    throw_errno("setsockopt(SO_SNDTIMEO)");
 }
 
 std::string encode_frame(const Frame& frame) {

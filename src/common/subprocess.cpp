@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/errno_string.hpp"
+
 extern char** environ;
 
 namespace am {
@@ -45,7 +47,13 @@ struct SpawnAttr {
 
 std::string ExitStatus::describe() const {
   if (signaled) {
-    const char* name = strsignal(signal);
+#if defined(__GLIBC__) && defined(__GLIBC_PREREQ) && __GLIBC_PREREQ(2, 32)
+    // sigdescr_np is the thread-safe strsignal: same description strings,
+    // no shared static buffer, no locale lookup.
+    const char* name = sigdescr_np(signal);
+#else
+    const char* name = nullptr;
+#endif
     return "signal " + std::to_string(signal) +
            (name ? std::string(" (") + name + ")" : "");
   }
@@ -69,19 +77,19 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
             &fa.actions, 1, opts.stdout_path.c_str(),
             O_WRONLY | O_CREAT | O_APPEND, kLogMode))
       throw std::runtime_error("Subprocess: cannot redirect stdout to " +
-                               opts.stdout_path + ": " + strerror(rc));
+                               opts.stdout_path + ": " + errno_string(rc));
     if (opts.stderr_path.empty())
       if (const int rc = posix_spawn_file_actions_adddup2(&fa.actions, 1, 2))
         throw std::runtime_error(
             std::string("Subprocess: cannot redirect stderr to stdout: ") +
-            strerror(rc));
+            errno_string(rc));
   }
   if (!opts.stderr_path.empty()) {
     if (const int rc = posix_spawn_file_actions_addopen(
             &fa.actions, 2, opts.stderr_path.c_str(),
             O_WRONLY | O_CREAT | O_APPEND, kLogMode))
       throw std::runtime_error("Subprocess: cannot redirect stderr to " +
-                               opts.stderr_path + ": " + strerror(rc));
+                               opts.stderr_path + ": " + errno_string(rc));
   }
 
   SpawnAttr sa;
@@ -91,11 +99,12 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
     if (const int rc =
             posix_spawnattr_setflags(&sa.attr, POSIX_SPAWN_SETPGROUP))
       throw std::runtime_error(
-          std::string("Subprocess: cannot set spawn flags: ") + strerror(rc));
+          std::string("Subprocess: cannot set spawn flags: ") +
+          errno_string(rc));
     if (const int rc = posix_spawnattr_setpgroup(&sa.attr, 0))
       throw std::runtime_error(
           std::string("Subprocess: cannot set process group: ") +
-          strerror(rc));  // 0 = own group, pgid == child pid
+          errno_string(rc));  // 0 = own group, pgid == child pid
   }
 
   Subprocess child;
@@ -104,7 +113,7 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
                               cargv.data(), environ);
   if (rc != 0)
     throw std::runtime_error("Subprocess: cannot spawn '" + argv[0] +
-                             "': " + strerror(rc));
+                             "': " + errno_string(rc));
   child.pid_ = pid;
   child.own_group_ = opts.new_process_group;
   return child;
@@ -114,13 +123,17 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
   return spawn(argv, Options{});
 }
 
-Subprocess::~Subprocess() {
+void Subprocess::dispose() noexcept {
   if (pid_ < 0 || status_) return;
-  ::kill(own_group_ ? -pid_ : pid_, SIGKILL);
+  // (void): ESRCH (child already gone) is the only realistic failure and
+  // is benign — the waitpid below still reaps whatever is left.
+  (void)::kill(own_group_ ? -pid_ : pid_, SIGKILL);
   int wstatus = 0;
   while (waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
   }
 }
+
+Subprocess::~Subprocess() { dispose(); }
 
 Subprocess::Subprocess(Subprocess&& other) noexcept
     : pid_(std::exchange(other.pid_, -1)),
@@ -129,8 +142,11 @@ Subprocess::Subprocess(Subprocess&& other) noexcept
 
 Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
   if (this != &other) {
-    // Dispose of any current child exactly like the destructor would.
-    Subprocess discard(std::move(*this));
+    // Release any current child exactly like the destructor would. (This
+    // used to move *this into a temporary and then write over the
+    // moved-from members — correct by construction of the move ctor, but
+    // a use-after-move pattern that static analysis rightly dislikes.)
+    dispose();
     pid_ = std::exchange(other.pid_, -1);
     own_group_ = std::exchange(other.own_group_, false);
     status_ = std::exchange(other.status_, std::nullopt);
@@ -169,7 +185,9 @@ ExitStatus Subprocess::wait() {
 
 void Subprocess::kill(int sig) {
   if (pid_ < 0 || status_) return;
-  ::kill(own_group_ ? -pid_ : pid_, sig);
+  // (void): the child may exit between our status_ check and the signal
+  // (ESRCH); callers observe the outcome via running()/wait(), not here.
+  (void)::kill(own_group_ ? -pid_ : pid_, sig);
 }
 
 void Subprocess::kill() { kill(SIGKILL); }

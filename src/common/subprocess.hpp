@@ -83,6 +83,10 @@ class Subprocess {
   void kill();
 
  private:
+  /// Kills + reaps a still-running child (destructor semantics); shared
+  /// by the destructor and move-assignment.
+  void dispose() noexcept;
+
   pid_t pid_ = -1;
   bool own_group_ = false;  // signal -pid_ (the whole group) instead
   std::optional<ExitStatus> status_;

@@ -202,8 +202,9 @@ std::optional<PlanInfo> SweepOrchestrator::probe_plan(
     std::this_thread::sleep_for(
         std::chrono::duration<double>(opts_.poll_seconds));
   }
-  probe.wait();
-  const ExitStatus status = *probe.status();
+  // wait() returns the cached status once the child is reaped, so this
+  // never blocks twice — and never dereferences an empty optional.
+  const ExitStatus status = probe.wait();
   if (!status.signaled && status.code == kWorkerExitUsage) {
     // The probe is the first process to see the flags; a rejection here
     // is the same fail-fast any worker rejection triggers.
@@ -379,7 +380,7 @@ void SweepOrchestrator::run_static(OrchestratorReport& report,
       ShardAttempt attempt;
       attempt.shard = r.shard;
       attempt.attempt = r.attempt;
-      attempt.status = *r.proc.status();
+      attempt.status = r.proc.wait();  // already reaped; returns the cache
       attempt.wall_seconds = seconds_since(r.start);
       attempt.heartbeats = r.watch.last_beats;
       attempt.stalled = r.stalled;
@@ -689,7 +690,7 @@ void SweepOrchestrator::run_lease(OrchestratorReport& report,
         ShardAttempt attempt;
         attempt.shard = w;
         attempt.attempt = s.stat.respawns;
-        attempt.status = *s.proc.status();
+        attempt.status = s.proc.wait();  // already reaped; returns the cache
         attempt.wall_seconds = seconds_since(s.start);
         attempt.heartbeats = s.watch.last_beats;
         attempt.stalled = s.stalled;
@@ -793,8 +794,10 @@ void SweepOrchestrator::write_manifest(
   out << "host\t" << interfere::HostIdentity::detect().fingerprint() << '\n';
   out << "driver\t" << opts_.driver << '\n';
   std::string cmd;
-  for (const auto& a : opts_.worker_command)
-    cmd += (cmd.empty() ? "" : " ") + a;
+  for (const auto& a : opts_.worker_command) {
+    if (!cmd.empty()) cmd += ' ';
+    cmd += a;
+  }
   out << "command\t" << cmd << '\n';
   out << "schedule\t"
       << (report.schedule == Schedule::kLease ? "lease" : "static") << '\n';

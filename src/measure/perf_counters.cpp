@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/errno_string.hpp"
+
 namespace am::measure {
 
 namespace {
@@ -43,7 +45,7 @@ PerfCounterSet::PerfCounterSet() {
       fds_.push_back(fd);
       kinds_.push_back(w.kind);
     } else if (fds_.empty() && reason_.empty()) {
-      reason_ = std::string("perf_event_open: ") + std::strerror(errno);
+      reason_ = "perf_event_open: " + errno_string(errno);
     }
   }
   if (fds_.empty() && reason_.empty()) reason_ = "no counters opened";
