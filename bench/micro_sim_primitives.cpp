@@ -94,6 +94,74 @@ void BM_DramBoundStream(benchmark::State& state) {
 }
 BENCHMARK(BM_DramBoundStream)->Arg(0)->Arg(1);
 
+// The L2-filter-band workload tracked by scripts/bench_engine.py: ways+1
+// lines strided to share one L1 set (cyclic LRU -> 100% L1 misses) while
+// owning distinct L2 sets (the L2 is enlarged 8x so the strides spread),
+// each warm-placed at the deepest way behind 7 fillers — so with the L2
+// filter off every access pays the full-depth L2 walk, and with it on the
+// set's MRU slot resolves it in one compare. Arg: MachineConfig::l2_filter
+// off (0) / on (1).
+void BM_L2HitBand(benchmark::State& state) {
+  auto cfg = am::sim::MachineConfig::xeon20mb_scaled(16);
+  cfg.l2.size_bytes *= 8;  // 256 L2 sets: hot lines land in distinct sets
+  cfg.l2_filter = state.range(0) != 0;
+  am::sim::MemorySystem ms(cfg);
+  const std::uint64_t l1_sets = cfg.l1.num_sets();
+  const std::uint64_t l2_sets = cfg.l2.num_sets();
+  const std::uint32_t hot = cfg.l1.ways + 1;
+  const am::sim::Addr base = ms.alloc(cfg.l2.size_bytes, cfg.l2.size_bytes);
+  const auto addr_of = [&](std::uint64_t i, std::uint64_t filler) {
+    // Same L1 set for every i (stride = l1 set count); same L2 set for
+    // every filler of a given i (stride = l2 set count).
+    return base + (i + filler * l2_sets) * l1_sets * 64;
+  };
+  am::sim::Cycles now = 0;
+  // Warm: 7 fillers then the hot line per set, so the hot line sits at
+  // the set's deepest way with the filler tags probed before it.
+  for (std::uint64_t i = 0; i < hot; ++i) {
+    for (std::uint64_t f = 1; f < cfg.l2.ways; ++f)
+      now = ms.access(0, addr_of(i, f), am::sim::AccessKind::kLoad, now)
+                .complete;
+    now = ms.access(0, addr_of(i, 0), am::sim::AccessKind::kLoad, now)
+              .complete;
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto res =
+        ms.access(0, addr_of(i, 0), am::sim::AccessKind::kLoad, now);
+    now = res.complete;
+    i = i + 1 == hot ? 0 : i + 1;
+    benchmark::DoNotOptimize(res.complete);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2HitBand)->Arg(0)->Arg(1);
+
+// The access_batch software-pipelining workload tracked by
+// scripts/bench_engine.py: 64-access random batches over a 4x-L3 buffer,
+// the miss-heavy shape the line-fill-buffer window models. The pipelining
+// (next access's L1 set prefetched while the current one retires) has no
+// toggle — it cannot change simulated results — so this tracks absolute
+// batch throughput.
+void BM_BatchPipelined(benchmark::State& state) {
+  auto cfg = am::sim::MachineConfig::xeon20mb_scaled(16);
+  am::sim::MemorySystem ms(cfg);
+  const std::uint64_t bytes = cfg.l3.size_bytes * 4;
+  const std::uint64_t lines = bytes / 64;
+  const am::sim::Addr base = ms.alloc(bytes);
+  am::Rng rng(11);
+  std::vector<am::sim::Addr> batch(64);
+  am::sim::Cycles now = 0;
+  for (auto _ : state) {
+    for (auto& a : batch) a = base + rng.bounded(lines) * 64;
+    now = ms.access_batch(0, batch, am::sim::AccessKind::kLoad, now);
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_BatchPipelined);
+
 void BM_DistributionSample(benchmark::State& state) {
   const auto dists = am::model::AccessDistribution::table2(1 << 20);
   const auto& dist = dists[static_cast<std::size_t>(state.range(0))];

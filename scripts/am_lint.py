@@ -55,12 +55,20 @@ FINGERPRINT_EXCLUSIONS = {
         "(sim.filter_identity_test, smoke.fig9_filter_identity); excluded "
         "so toggling it still *hits* the same cached results"
     ),
+    "l2_filter": (
+        "same contract as l1_filter for the L1-miss/L2-hit band: "
+        "bit-identical by construction (sim.filter_identity_test, "
+        "smoke.fig9_l2_filter_identity), so toggling it must keep hitting "
+        "the same cached results"
+    ),
 }
 
-# mem_backend/dram are mixed conditionally (only when the backend
-# deviates from the default channel model) — that keeps pre-backend
-# fingerprints valid. AM004 only requires the tokens to appear in the
-# fingerprint body, so the conditional mix satisfies it.
+# mem_backend/dram and set_hash are mixed conditionally (only when they
+# deviate from their defaults — channel backend, mask hash) — that keeps
+# pre-existing fingerprints valid. AM004 only requires the tokens to
+# appear in the fingerprint body, so the conditional mix satisfies it.
+# set_hash must NOT join the exclusion list: H3 changes placement and
+# therefore simulated results (asserted by measure.result_store_test).
 
 
 # --- C++ text utilities -----------------------------------------------------

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Benchmark raw engine speed and the L1 filter fast path payoff.
+"""Benchmark raw engine speed and the filter fast-path payoffs.
 
 Tracks the simulator's hot path — `sim::MemorySystem::access` under
 `sim::Engine` — in BENCH_engine.json, the cycles/sec companion to
@@ -7,25 +7,33 @@ BENCH_sweep.json's orchestration numbers:
 
   * pinned micro_sim_primitives workloads (google-benchmark JSON):
     BM_L1HitSequential (8-byte sequential walk over an L1-resident
-    buffer, the hit-heavy access mix the filter exists for) and
+    buffer, the hit-heavy access mix the L1 filter exists for) and
     BM_EngineStepOverhead (same-line walker, the filter's best case),
-    each with MachineConfig::l1_filter off (/0) vs on (/1). Every access
-    in these workloads is an L1 hit and advances simulated time by
+    each with MachineConfig::l1_filter off (/0) vs on (/1); BM_L2HitBand
+    (the L1-miss/L2-hit band) with MachineConfig::l2_filter off (/0) vs
+    on (/1). Every access in the L1 workloads advances simulated time by
     exactly l1_latency cycles, so simulated cycles/sec is
     accesses/sec x l1_latency. BM_DramBoundStream (L3-miss-heavy
     stream) additionally tracks backend-path throughput: channel pipe
-    (/0) vs banked ddr4 backend (/1), reported as `banked_cost`.
-  * the fig9 smoke sweep end to end, fast path off vs on, with a
-    byte-compare of the emitted tables: the filter is a host-speed knob
-    only, so the figure output must be identical to the last byte.
+    (/0) vs banked ddr4 backend (/1), reported as `banked_cost`; and
+    BM_BatchPipelined tracks absolute access_batch throughput (its
+    software pipelining has no toggle — it cannot change results).
+  * the fig9 smoke sweep end to end, fast paths off vs on (both filter
+    toggles together), with a byte-compare of the emitted tables: the
+    filters are host-speed knobs only, so the figure output must be
+    identical to the last byte. This identity gate ALWAYS runs — --quick
+    trims only the micro workloads — and a skipped or failed compare is
+    a nonzero exit, never a silently regenerated JSON.
 
 Usage:
   scripts/bench_engine.py --build build/release [--out BENCH_engine.json]
+                          [--quick]
 
 Exit status: 0 on success (a sub-2x speedup is recorded in the JSON, not
 fatal — CI wires this step non-blocking), 1 when a run fails or the fig9
-outputs differ across the toggle (that is a correctness bug; the
-blocking smoke.fig9_filter_identity ctest entry guards it too).
+outputs differ across the toggles (that is a correctness bug; the
+blocking smoke.fig9_filter_identity / smoke.fig9_l2_filter_identity
+ctest entries guard it too).
 """
 
 import argparse
@@ -36,10 +44,11 @@ import sys
 import time
 
 # The Xeon20MB preset's L1 latency: geometry-preserving scaling keeps it,
-# and both pinned micro workloads are 100% L1 hits.
+# and both pinned L1 micro workloads are 100% L1 hits.
 L1_LATENCY_CYCLES = 4
 
-MICRO_FILTER = "BM_L1HitSequential|BM_EngineStepOverhead|BM_DramBoundStream"
+MICRO_FILTER = ("BM_L1HitSequential|BM_EngineStepOverhead|BM_L2HitBand"
+                "|BM_DramBoundStream|BM_BatchPipelined")
 FIG9_ARGS = [
     "--scale", "64", "--ranks", "8", "--steps", "1", "--quick",
     "--max-cs", "1", "--max-bw", "1",
@@ -69,6 +78,14 @@ def run_micro(binary):
             "sim_cycles_per_second_filter_on": round(on * L1_LATENCY_CYCLES),
             "filter_speedup": round(on / off, 3),
         }
+    # The L2 filter band: L1-miss/L2-hit accesses with the hot line at the
+    # set's deepest way, so off = full-depth L2 walk, on = one MRU compare.
+    off, on = per_name["BM_L2HitBand/0"], per_name["BM_L2HitBand/1"]
+    out["BM_L2HitBand"] = {
+        "accesses_per_second_filter_off": round(off),
+        "accesses_per_second_filter_on": round(on),
+        "filter_speedup": round(on / off, 3),
+    }
     # Backend-path throughput: an L3-miss-heavy stream under the channel
     # pipe (/0) vs the banked ddr4 backend (/1). banked_cost < 1 is the
     # banked model's host-speed price per DRAM-bound access; tracked so a
@@ -80,18 +97,26 @@ def run_micro(binary):
         "accesses_per_second_banked": round(banked),
         "banked_cost": round(banked / channel, 3),
     }
+    # access_batch with software pipelining: absolute throughput only (the
+    # host prefetch has no toggle), tracked so a batch-path regression —
+    # or the pipelining rotting away — shows up as a trajectory break.
+    out["BM_BatchPipelined"] = {
+        "accesses_per_second": round(per_name["BM_BatchPipelined"]),
+    }
     return out
 
 
-def run_fig9(binary, l1_filter):
-    cmd = [str(binary), *FIG9_ARGS, "--l1-filter", l1_filter]
+def run_fig9(binary, filters):
+    cmd = [str(binary), *FIG9_ARGS,
+           "--l1-filter", filters, "--l2-filter", filters]
     t0 = time.monotonic()
     proc = subprocess.run(cmd, capture_output=True)
     wall = time.monotonic() - t0
     if proc.returncode != 0:
         print(proc.stderr.decode(errors="replace"), file=sys.stderr)
         raise RuntimeError(
-            f"fig9 --l1-filter {l1_filter} failed ({proc.returncode})")
+            f"fig9 --l1-filter/--l2-filter {filters} failed "
+            f"({proc.returncode})")
     return wall, proc.stdout
 
 
@@ -100,6 +125,10 @@ def main():
     ap.add_argument("--build", default="build/release",
                     help="build tree holding micro_sim_primitives and fig9")
     ap.add_argument("--out", default="BENCH_engine.json")
+    ap.add_argument("--quick", action="store_true",
+                    help="skip the micro workloads; the fig9 identity "
+                         "byte-compare still runs and still gates the exit "
+                         "status")
     args = ap.parse_args()
 
     build = pathlib.Path(args.build)
@@ -109,12 +138,15 @@ def main():
         sys.exit(f"missing binary: {fig9} (build the tree first)")
 
     report = {
-        "benchmark": "engine hot path: L1 filter fast path off vs on",
+        "benchmark": "engine hot path: filter fast paths off vs on",
         "l1_latency_cycles": L1_LATENCY_CYCLES,
         "fig9_args": " ".join(FIG9_ARGS),
     }
     try:
-        if micro.exists():
+        if args.quick:
+            report["micro"] = None
+            print("note: --quick, skipping micro workloads", file=sys.stderr)
+        elif micro.exists():
             report["micro"] = run_micro(micro)
         else:
             # google-benchmark is optional at build time; the fig9 sweep
@@ -138,9 +170,11 @@ def main():
         report["hit_heavy_filter_speedup_ge_2x"] = hit_heavy >= 2.0
     pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
-    if not report["fig9_smoke"]["output_identical"]:
-        sys.exit("fig9 output differs across the --l1-filter toggle: "
-                 "the fast path changed simulated results")
+    # Hard gate, --quick or not: a JSON regenerated without a passing
+    # identity compare must never look like success.
+    if report["fig9_smoke"].get("output_identical") is not True:
+        sys.exit("fig9 output differs across the filter toggles: "
+                 "a fast path changed simulated results")
 
 
 if __name__ == "__main__":

@@ -1,35 +1,45 @@
 #!/usr/bin/env python3
-"""Byte-compare a bench driver's output across the L1 filter toggle.
+"""Byte-compare a bench driver's output across a filter toggle.
 
-Runs the given driver command twice — `--l1-filter false` appended, then
-`--l1-filter true` — and fails unless both exit 0 and their stdout is
-byte-identical. The filter fast path (MachineConfig::l1_filter) is a pure
-host-speed optimization, so any divergence in the emitted tables is a
-correctness bug in the filter's coherence hooks. Registered as the
-blocking `smoke.fig9_filter_identity` ctest entry; sim-layer state-level
-identity is covered by tests/sim/filter_identity_test.cpp.
+Runs the given driver command twice — `--<flag> false` appended, then
+`--<flag> true` — and fails unless both exit 0 and their stdout is
+byte-identical. The flag defaults to the L1 filter fast path
+(MachineConfig::l1_filter) and can be switched with a leading
+`--flag NAME` (e.g. `--flag l2-filter` for the L2 filter band); both are
+pure host-speed optimizations, so any divergence in the emitted tables is
+a correctness bug in the filter's coherence hooks. Registered as the
+blocking `smoke.fig9_filter_identity` and `smoke.fig9_l2_filter_identity`
+ctest entries; sim-layer state-level identity is covered by
+tests/sim/filter_identity_test.cpp.
 
-Usage: scripts/check_filter_identity.py <driver> [driver args...]
+Usage: scripts/check_filter_identity.py [--flag NAME] <driver> [args...]
 """
 
 import subprocess
 import sys
 
 
-def run(flag):
-    cmd = [*sys.argv[1:], "--l1-filter", flag]
+def run(args, flag, value):
+    cmd = [*args, f"--{flag}", value]
     proc = subprocess.run(cmd, capture_output=True)
     if proc.returncode != 0:
         print(proc.stderr.decode(errors="replace"), file=sys.stderr)
-        sys.exit(f"--l1-filter {flag} run failed ({proc.returncode})")
+        sys.exit(f"--{flag} {value} run failed ({proc.returncode})")
     return proc.stdout
 
 
 def main():
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    flag = "l1-filter"
+    if args[:1] == ["--flag"]:
+        if len(args) < 2:
+            sys.exit(__doc__)
+        flag = args[1]
+        args = args[2:]
+    if not args:
         sys.exit(__doc__)
-    off = run("false")
-    on = run("true")
+    off = run(args, flag, "false")
+    on = run(args, flag, "true")
     if on != off:
         for lineno, (a, b) in enumerate(
                 zip(off.splitlines(), on.splitlines()), 1):
@@ -39,9 +49,9 @@ def main():
                 print(f"  filter off: {a!r}", file=sys.stderr)
                 print(f"  filter on:  {b!r}", file=sys.stderr)
                 break
-        sys.exit("output differs across the --l1-filter toggle "
+        sys.exit(f"output differs across the --{flag} toggle "
                  f"({len(off)} vs {len(on)} bytes)")
-    print(f"filter identity OK ({len(on)} bytes, bit-identical)")
+    print(f"{flag} identity OK ({len(on)} bytes, bit-identical)")
 
 
 if __name__ == "__main__":

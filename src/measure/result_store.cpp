@@ -161,6 +161,11 @@ std::string machine_fingerprint(const sim::MachineConfig& m) {
         .mix(m.dram.refresh_interval)
         .mix(m.dram.refresh_cycles);
   }
+  // The set-index hash changes line placement (H3 reshuffles every set
+  // mapping), so it keys results too — same default-elision as the
+  // backend: kMask mixes nothing so pre-existing fingerprints stay valid.
+  if (m.set_hash != sim::SetHash::kMask)
+    fp.mix(static_cast<std::uint32_t>(m.set_hash));
   return fp.hex();
 }
 

@@ -19,16 +19,13 @@ void CacheConfig::validate() const {
 
 Cache::Cache(CacheConfig config) : config_(std::move(config)) {
   config_.validate();
-  num_sets_ = config_.num_sets();
-  set_mask_ = (num_sets_ & (num_sets_ - 1)) == 0 ? num_sets_ - 1 : 0;
+  indexer_ = SetIndexer(config_.set_hash, config_.num_sets());
   lines_.resize(config_.num_lines());
-  if (config_.filter) filter_.resize(num_sets_);
+  if (config_.filter) filter_.resize(config_.num_sets());
 }
 
 std::size_t Cache::set_base(Addr line_addr) const {
-  const std::uint64_t set =
-      set_mask_ ? (line_addr & set_mask_) : (line_addr % num_sets_);
-  return static_cast<std::size_t>(set * config_.ways);
+  return static_cast<std::size_t>(indexer_.index(line_addr) * config_.ways);
 }
 
 Cache::AccessOutcome Cache::access(Addr line_addr, std::uint16_t owner,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sim/set_index.hpp"
 #include "sim/types.hpp"
 
 namespace am::sim {
@@ -40,6 +41,11 @@ struct CacheConfig {
   /// tests/sim/filter_identity_test.cpp); excluded from
   /// measure::machine_fingerprint so result-store keys never depend on it.
   bool filter = false;
+  /// Set-index function (see sim/set_index.hpp). kMask keeps the
+  /// historical placement (low bits / exact modulo); kH3 hashes the line
+  /// address and therefore changes simulated results — MachineConfig
+  /// routes it to the shared L3 and fingerprints it.
+  SetHash set_hash = SetHash::kMask;
 
   std::uint64_t num_lines() const { return size_bytes / line_bytes; }
   std::uint64_t num_sets() const { return num_lines() / ways; }
@@ -76,9 +82,7 @@ class Cache {
   /// to report.
   bool try_fast_hit(Addr line_addr, std::uint32_t sharer_bit, bool is_store) {
     if (filter_.empty()) return false;
-    const std::uint64_t set =
-        set_mask_ ? (line_addr & set_mask_) : (line_addr % num_sets_);
-    const FilterSlot slot = filter_[set];
+    const FilterSlot slot = filter_[indexer_.index(line_addr)];
     if (slot.tag != line_addr) return false;
     Line& line = lines_[slot.line_index];
     line.stamp = ++stamp_;
@@ -89,6 +93,16 @@ class Cache {
 
   /// True when this cache was built with the filter fast path enabled.
   bool filter_enabled() const { return !filter_.empty(); }
+
+  /// Host-side prefetch of the set's tag storage (and filter slot when
+  /// enabled) for an access about to be issued. Pure software-pipelining
+  /// hint for MemorySystem::access_batch — touches no simulated state, so
+  /// results cannot depend on it.
+  void prefetch_set(Addr line_addr) const {
+    const std::uint64_t set = indexer_.index(line_addr);
+    __builtin_prefetch(&lines_[set * config_.ways]);
+    if (!filter_.empty()) __builtin_prefetch(&filter_[set]);
+  }
 
   /// True if the line is present (no replacement state update).
   bool contains(Addr line_addr) const;
@@ -137,22 +151,19 @@ class Cache {
   /// Points the set's filter slot at lines_[index] (no-op when disabled).
   void filter_update(Addr line_addr, std::size_t index) {
     if (filter_.empty()) return;
-    const std::uint64_t set =
-        set_mask_ ? (line_addr & set_mask_) : (line_addr % num_sets_);
-    filter_[set] = {line_addr, static_cast<std::uint32_t>(index)};
+    filter_[indexer_.index(line_addr)] = {line_addr,
+                                          static_cast<std::uint32_t>(index)};
   }
   /// Clears the set's filter slot if it names `line_addr` (invalidation).
   void filter_drop(Addr line_addr) {
     if (filter_.empty()) return;
-    const std::uint64_t set =
-        set_mask_ ? (line_addr & set_mask_) : (line_addr % num_sets_);
+    const std::uint64_t set = indexer_.index(line_addr);
     if (filter_[set].tag == line_addr) filter_[set] = FilterSlot{};
   }
 
   CacheConfig config_;
   Rng victim_rng_{0x51ed270b7a64e5c4ull};  // deterministic random policy
-  std::uint64_t num_sets_;
-  std::uint64_t set_mask_;   // num_sets-1 when power of two, else 0
+  SetIndexer indexer_;
   std::uint64_t stamp_ = 0;  // per-cache logical clock for LRU
   std::vector<Line> lines_;  // ways contiguous per set
   std::vector<FilterSlot> filter_;  // one per set; empty = filter disabled

@@ -26,13 +26,15 @@ struct Counters {
   std::uint64_t compute_cycles = 0;
   std::uint64_t stall_cycles = 0;
 
-  /// Host-speed diagnostics for the L1 filter fast path
-  /// (MachineConfig::l1_filter), not architectural events: they depend on
-  /// the toggle (both are 0 when it is off) while every counter above is
-  /// bit-identical across it. Deliberately excluded from the ResultStore
+  /// Host-speed diagnostics for the filter fast paths
+  /// (MachineConfig::l1_filter / l2_filter), not architectural events:
+  /// they depend on the toggles (0 when off) while every counter above is
+  /// bit-identical across them. Deliberately excluded from the ResultStore
   /// record format and record equality for that reason.
   std::uint64_t l1_filter_hits = 0;          // L1 hits resolved by the filter
   std::uint64_t l1_filter_fallthroughs = 0;  // filter misses → full L1 walk
+  std::uint64_t l2_filter_hits = 0;          // L2 hits resolved by the filter
+  std::uint64_t l2_filter_fallthroughs = 0;  // filter misses → full L2 walk
 
   std::uint64_t accesses() const { return loads + stores; }
 
@@ -71,6 +73,8 @@ struct Counters {
     stall_cycles += o.stall_cycles;
     l1_filter_hits += o.l1_filter_hits;
     l1_filter_fallthroughs += o.l1_filter_fallthroughs;
+    l2_filter_hits += o.l2_filter_hits;
+    l2_filter_fallthroughs += o.l2_filter_fallthroughs;
     return *this;
   }
 };

@@ -58,6 +58,18 @@ void apply_mem_backend(MachineConfig& machine, const std::string& spec) {
   machine.validate();
 }
 
+void apply_set_hash(MachineConfig& machine, const std::string& spec) {
+  if (spec == "mask") {
+    machine.set_hash = SetHash::kMask;
+  } else if (spec == "h3") {
+    machine.set_hash = SetHash::kH3;
+  } else {
+    throw std::invalid_argument("unknown --set-hash '" + spec +
+                                "' (choices: mask, h3)");
+  }
+  machine.validate();
+}
+
 void MachineConfig::validate() const {
   if (nodes == 0 || sockets_per_node == 0 || cores_per_socket == 0)
     throw std::invalid_argument("MachineConfig: empty topology");

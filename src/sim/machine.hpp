@@ -105,6 +105,22 @@ struct MachineConfig {
   /// excludes it so result-store keys are stable across the toggle.
   bool l1_filter = true;
 
+  /// Enables the L2 filter fast path: the L1-miss/L2-hit band — the
+  /// dominant band once a working set spills the L1 in capacity sweeps —
+  /// resolves through the L2's one-entry-per-set MRU filter instead of
+  /// the full L2 walk, performing exactly the walk's mutations. Like
+  /// l1_filter this is a pure host-speed knob: bit-identical outcomes
+  /// (sim.filter_identity_test + smoke.fig9_l2_filter_identity) and
+  /// excluded from measure::machine_fingerprint.
+  bool l2_filter = true;
+
+  /// Set-index hash of the shared L3 (sim/set_index.hpp). kMask keeps
+  /// historical placement bit-identically (including the strength-reduced
+  /// non-pow2 modulo); kH3 is the zsim-style hashed-LLC placement. H3
+  /// CHANGES simulated results, so machine_fingerprint mixes this knob
+  /// whenever it deviates from kMask.
+  SetHash set_hash = SetHash::kMask;
+
   /// Memory-backend selection (sim/memory_backend.hpp). kChannel keeps
   /// the original pipe bit-identically; kBankedDram swaps in the banked
   /// DRAM model, whose `dram` knobs then shape results (and store keys).
@@ -156,5 +172,9 @@ const char* mem_backend_name(MemBackendKind kind);
 ///   "ddr4"/"hbm"  — banked DRAM with the matching DramConfig preset.
 /// Throws std::invalid_argument on anything else, listing the choices.
 void apply_mem_backend(MachineConfig& machine, const std::string& spec);
+
+/// Applies a `--set-hash` CLI spelling ("mask" / "h3") to `machine`.
+/// Throws std::invalid_argument on anything else, listing the choices.
+void apply_set_hash(MachineConfig& machine, const std::string& spec);
 
 }  // namespace am::sim

@@ -13,9 +13,14 @@ MemorySystem::MemorySystem(MachineConfig config) : config_(std::move(config)) {
     throw std::invalid_argument("line size must be a power of two");
   line_shift_ = std::countr_zero(
       static_cast<std::uint64_t>(config_.l1.line_bytes));
-  // The machine-level toggle reaches the private L1s here; L2/L3 stay on
-  // the plain associative path (their access rates are too low to matter).
+  // The machine-level toggles reach the private caches here: the L1
+  // filter short-circuits repeat hits inline in access(), the L2 filter
+  // short-circuits the L1-miss/L2-hit band in access_slow(). The shared
+  // L3 stays unfiltered (its access rate is too low to matter) but takes
+  // the machine's set-index hash — zsim hashes exactly the LLC.
   config_.l1.filter = config_.l1_filter;
+  config_.l2.filter = config_.l2_filter;
+  config_.l3.set_hash = config_.set_hash;
 
   const auto cores = config_.total_cores();
   const auto sockets = config_.total_sockets();
@@ -136,6 +141,23 @@ AccessResult MemorySystem::access_slow(CoreId core, Addr addr, AccessKind kind,
     return {now + config_.l1_latency, Level::kL1};
   }
 
+  // L2 filter band: the L1-miss/L2-hit case dominates capacity sweeps,
+  // and the L2's MRU filter resolves it with one compare while applying
+  // exactly the mutations the full walk's hit path would (LRU stamp,
+  // sharer OR, dirty OR — see Cache::try_fast_hit). A hit never evicts
+  // and leaves the filter slot already current, so skipping the walk is
+  // bit-identical (sim.filter_identity_test, smoke.fig9_l2_filter_identity).
+  if (l2_[core]->try_fast_hit(line, 0, is_store)) {
+    ++ctr.l2_hits;
+    ++ctr.l2_filter_hits;
+    if (config_.l3_hint_interval != 0 && --hint_countdown_[core] == 0) {
+      hint_countdown_[core] = config_.l3_hint_interval;
+      l3_[socket]->touch(line);
+    }
+    return {now + config_.l2_latency, Level::kL2};
+  }
+  if (config_.l2_filter) ++ctr.l2_filter_fallthroughs;
+
   // L2.
   const auto l2_out =
       l2_[core]->access(line, static_cast<std::uint16_t>(core), 0, is_store);
@@ -179,14 +201,21 @@ Cycles MemorySystem::access_batch(CoreId core, std::span<const Addr> addrs,
   std::vector<Cycles>& window = batch_window_;
   window.clear();
   Cycles last = now;
-  for (Addr addr : addrs) {
+  Cache& l1 = *l1_[core];
+  const std::size_t n = addrs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Software pipelining: pull the NEXT access's L1 set (tags + filter
+    // slot) into the host cache while this access retires through the
+    // window bookkeeping below. Host-side hint only — simulated state,
+    // counters and completion times are byte-identical with it removed.
+    if (i + 1 < n) l1.prefetch_set(addrs[i + 1] >> line_shift_);
     Cycles issue = now;
     if (window.size() == config_.max_outstanding_misses) {
       const auto min_it = std::min_element(window.begin(), window.end());
       issue = std::max(now, *min_it);
       window.erase(min_it);
     }
-    const AccessResult res = access(core, addr, kind, issue);
+    const AccessResult res = access(core, addrs[i], kind, issue);
     if (res.level == Level::kMemory) window.push_back(res.complete);
     last = std::max(last, res.complete);
   }

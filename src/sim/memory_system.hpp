@@ -57,7 +57,10 @@ class MemorySystem {
   /// A batch of *independent* accesses issued together at `now`, modelling
   /// memory-level parallelism: up to config.max_outstanding_misses DRAM
   /// misses overlap; further misses queue on the completion of earlier
-  /// ones. Returns the completion time of the last access.
+  /// ones. Returns the completion time of the last access. Software-
+  /// pipelined on the host: the next access's L1 set is prefetched while
+  /// the current one retires through the window, which cannot change any
+  /// simulated outcome.
   Cycles access_batch(CoreId core, std::span<const Addr> addrs,
                       AccessKind kind, Cycles now);
 
@@ -93,8 +96,10 @@ class MemorySystem {
   void flush_caches();
 
  private:
-  /// The full L1→L2→L3→DRAM walk behind access(): every path the filter
-  /// could not short-circuit (L1 filter miss, any deeper hit or miss).
+  /// The full L1→L2→L3→DRAM walk behind access(): every path the L1
+  /// filter could not short-circuit. Fronted by a second filter band of
+  /// its own — the L1-miss/L2-hit case resolves through the L2's MRU
+  /// filter (MachineConfig::l2_filter) before the full L2 walk.
   AccessResult access_slow(CoreId core, Addr addr, AccessKind kind,
                            Cycles now);
   /// Propagates a dirty private victim's state down the hierarchy.

@@ -304,6 +304,28 @@ TEST_F(ResultStoreTest, MachineFingerprintKeysMemoryBackend) {
   EXPECT_EQ(machine_fingerprint(m), base);
 }
 
+TEST_F(ResultStoreTest, MachineFingerprintKeysSetHashNotFilters) {
+  const auto base = machine_fingerprint(machine());
+  // H3 reshuffles every set mapping — different placement, different
+  // results — so it must cache under a distinct store key.
+  auto m = machine();
+  sim::apply_set_hash(m, "h3");
+  EXPECT_NE(machine_fingerprint(m), base);
+  // The explicit default spelling keys identically to the implicit
+  // default, so pre-refactor records stay reachable.
+  m = machine();
+  sim::apply_set_hash(m, "mask");
+  EXPECT_EQ(machine_fingerprint(m), base);
+  // The filter fast paths are bit-identical by construction: toggling
+  // them must keep hitting the same cached results.
+  m = machine();
+  m.l1_filter = !m.l1_filter;
+  EXPECT_EQ(machine_fingerprint(m), base);
+  m = machine();
+  m.l2_filter = !m.l2_filter;
+  EXPECT_EQ(machine_fingerprint(m), base);
+}
+
 // ---------------------------------------------------------------------------
 // Cache-aware and sharded SweepRunner execution.
 

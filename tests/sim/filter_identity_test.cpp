@@ -1,14 +1,16 @@
-// The L1 filter fast path (CacheConfig::filter / MachineConfig::l1_filter)
-// is a pure host-speed optimization: every simulated outcome — hits,
-// evictions, LRU victims, dirty bits, counters, completion times — must be
-// bit-identical with the filter on vs off. These tests drive filtered and
-// unfiltered twins through identical random traces and targeted coherence
-// scenarios (L3 back-invalidation, prefetch-triggered evictions, flushes)
-// and compare exhaustively. The filter's own diagnostics
-// (Counters::l1_filter_hits / l1_filter_fallthroughs) are the one
-// deliberate exception: they describe the toggle, not the simulation.
+// The filter fast paths (CacheConfig::filter / MachineConfig::l1_filter /
+// MachineConfig::l2_filter) are pure host-speed optimizations: every
+// simulated outcome — hits, evictions, LRU victims, dirty bits, counters,
+// completion times — must be bit-identical with the filters on vs off.
+// These tests drive filtered and unfiltered twins through identical random
+// traces and targeted coherence scenarios (L3 back-invalidation,
+// prefetch-triggered evictions, flushes) and compare exhaustively. The
+// filters' own diagnostics (Counters::l{1,2}_filter_hits /
+// l{1,2}_filter_fallthroughs) are the one deliberate exception: they
+// describe the toggles, not the simulation.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <tuple>
 #include <vector>
 
@@ -154,6 +156,7 @@ struct Twins {
   static MachineConfig cfg(std::uint32_t scale, bool filter) {
     auto c = MachineConfig::xeon20mb_scaled(scale);
     c.l1_filter = filter;
+    c.l2_filter = filter;
     return c;
   }
   explicit Twins(std::uint32_t scale)
@@ -222,14 +225,66 @@ TEST(FilterIdentityMemorySystem, RandomMultiCoreTraceBitIdentical) {
     }
   }
   twins.expect_equal("after random trace");
-  // The filter actually engaged — otherwise this test proves nothing.
-  std::uint64_t filter_hits = 0;
-  for (CoreId core = 0; core < cores; ++core)
-    filter_hits += twins.on.counters(core).l1_filter_hits;
-  EXPECT_GT(filter_hits, 0u);
+  // Both filters actually engaged — otherwise this test proves nothing.
+  std::uint64_t l1_filter_hits = 0, l2_filter_hits = 0;
+  for (CoreId core = 0; core < cores; ++core) {
+    l1_filter_hits += twins.on.counters(core).l1_filter_hits;
+    l2_filter_hits += twins.on.counters(core).l2_filter_hits;
+  }
+  EXPECT_GT(l1_filter_hits, 0u);
+  EXPECT_GT(l2_filter_hits, 0u);
   for (CoreId core = 0; core < cores; ++core) {
     EXPECT_EQ(twins.off.counters(core).l1_filter_hits, 0u);
     EXPECT_EQ(twins.off.counters(core).l1_filter_fallthroughs, 0u);
+    EXPECT_EQ(twins.off.counters(core).l2_filter_hits, 0u);
+    EXPECT_EQ(twins.off.counters(core).l2_filter_fallthroughs, 0u);
+  }
+}
+
+TEST(FilterIdentityMemorySystem, FilterTogglesAreIndependent) {
+  // The four (l1_filter, l2_filter) combinations must be pairwise
+  // bit-identical — each band short-circuits independently, so one
+  // filter's state must never leak into the other's outcomes.
+  std::vector<std::unique_ptr<MemorySystem>> systems;
+  for (const bool l1 : {false, true})
+    for (const bool l2 : {false, true}) {
+      auto c = MachineConfig::xeon20mb_scaled(16);
+      c.l1_filter = l1;
+      c.l2_filter = l2;
+      systems.push_back(std::make_unique<MemorySystem>(c));
+    }
+  const std::uint64_t bytes = systems[0]->config().l3.size_bytes * 2;
+  for (auto& ms : systems) ms->alloc(bytes);
+  const Addr base = 1 << 16;  // alloc base is deterministic
+
+  Rng rng(0x2f11);
+  Cycles now = 0;
+  for (int step = 0; step < 30000; ++step) {
+    // L1-sized reuse windows sliding through an L3-sized footprint: a mix
+    // with substantial L1-hit, L2-hit and deeper bands.
+    const Addr addr =
+        base + (rng.bounded(512) + (step / 64) * 8) % (bytes / 64) * 64;
+    const auto kind =
+        rng.bounded(4) == 0 ? AccessKind::kStore : AccessKind::kLoad;
+    const AccessResult ref = systems[0]->access(0, addr, kind, now);
+    for (std::size_t s = 1; s < systems.size(); ++s) {
+      const AccessResult res = systems[s]->access(0, addr, kind, now);
+      ASSERT_EQ(res.complete, ref.complete) << "system " << s << " step "
+                                            << step;
+      ASSERT_EQ(res.level, ref.level) << "system " << s << " step " << step;
+    }
+    now = ref.complete;
+  }
+  // systems[1] is (l1 off, l2 on): its L2 band engaged on its own.
+  EXPECT_GT(systems[1]->counters(0).l2_filter_hits, 0u);
+  EXPECT_EQ(systems[1]->counters(0).l1_filter_hits, 0u);
+  // systems[2] is (l1 on, l2 off): and vice versa.
+  EXPECT_GT(systems[2]->counters(0).l1_filter_hits, 0u);
+  EXPECT_EQ(systems[2]->counters(0).l2_filter_hits, 0u);
+  for (std::size_t s = 1; s < systems.size(); ++s) {
+    const Counters& a = systems[0]->counters(0);
+    const Counters& b = systems[s]->counters(0);
+    expect_architectural_counters_equal(a, b, 0);
   }
 }
 

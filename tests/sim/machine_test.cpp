@@ -59,6 +59,24 @@ TEST(MachineConfig, ValidateCatchesZeroScale) {
   EXPECT_THROW(MachineConfig::xeon20mb_scaled(0), std::invalid_argument);
 }
 
+TEST(MachineConfig, ApplySetHashParsesSpellings) {
+  auto m = MachineConfig::xeon20mb();
+  EXPECT_EQ(m.set_hash, SetHash::kMask);  // default: historical placement
+  apply_set_hash(m, "h3");
+  EXPECT_EQ(m.set_hash, SetHash::kH3);
+  apply_set_hash(m, "mask");
+  EXPECT_EQ(m.set_hash, SetHash::kMask);
+  EXPECT_THROW(apply_set_hash(m, "xor"), std::invalid_argument);
+  EXPECT_EQ(std::string(set_hash_name(SetHash::kMask)), "mask");
+  EXPECT_EQ(std::string(set_hash_name(SetHash::kH3)), "h3");
+}
+
+TEST(MachineConfig, FilterDefaultsAreOn) {
+  const auto m = MachineConfig::xeon20mb();
+  EXPECT_TRUE(m.l1_filter);
+  EXPECT_TRUE(m.l2_filter);
+}
+
 TEST(MachineConfig, ValidateCatchesBadTopology) {
   auto m = MachineConfig::xeon20mb();
   m.nodes = 0;
